@@ -1,0 +1,60 @@
+"""N2Net extension: binarized vs fixed-point DNN on the AD task.
+
+The paper positions N2Net's binary networks as the resource-frugal,
+accuracy-lossy end of the in-network ML spectrum (§2): "truncating model
+weights to a single bit value ... impacts achievable model accuracy; but,
+the models can now run at line speed".  This bench quantifies that
+trade-off inside our Taurus resource model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.taurus import TaurusBackend
+from repro.datasets import load_nslkdd
+from repro.eval.baselines import train_baseline_dnn
+from repro.ml.bnn import BinarizedNetwork
+from repro.ml.metrics import f1_score
+from repro.ml.preprocessing import StandardScaler
+
+
+@pytest.fixture(scope="module")
+def ad():
+    return load_nslkdd(n_train=1600, n_test=600, seed=7)
+
+
+def test_bnn_vs_dnn_tradeoff(benchmark, ad, record_result):
+    backend = TaurusBackend()
+
+    def run():
+        dnn, scaler = train_baseline_dnn("ad", ad, seed=0)
+        dnn_pipe = backend.compile_model(dnn, scaler=scaler, name="dnn")
+        dnn_f1 = 100 * f1_score(ad.test_y, dnn_pipe.predict(ad.test_x))
+
+        bnn_scaler = StandardScaler().fit(ad.train_x)
+        bnn = BinarizedNetwork([ad.n_features, 24, 12, 1], seed=0)
+        bnn.fit(bnn_scaler.transform(ad.train_x), ad.train_y,
+                epochs=40, learning_rate=0.05)
+        bnn_pipe = backend.compile_model(bnn, scaler=bnn_scaler, name="bnn")
+        bnn_f1 = 100 * f1_score(ad.test_y, bnn_pipe.predict(ad.test_x))
+        return (dnn_f1, dnn_pipe, dnn.n_params), (bnn_f1, bnn_pipe, bnn.n_params)
+
+    (dnn_f1, dnn_pipe, dnn_params), (bnn_f1, bnn_pipe, bnn_params) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    lines = [
+        f"{'Variant':<10}{'F1':>8}{'Params':>8}{'CUs':>6}{'MUs':>6}",
+        "-" * 38,
+        f"{'DNN Q7.8':<10}{dnn_f1:>8.2f}{dnn_params:>8}"
+        f"{dnn_pipe.resources['cus']:>6}{dnn_pipe.resources['mus']:>6}",
+        f"{'BNN 1-bit':<10}{bnn_f1:>8.2f}{bnn_params:>8}"
+        f"{bnn_pipe.resources['cus']:>6}{bnn_pipe.resources['mus']:>6}",
+    ]
+    record_result("n2net_bnn_vs_dnn", "\n".join(lines))
+    # The N2Net trade: binary compute is much cheaper per parameter...
+    dnn_cus_per_param = dnn_pipe.resources["cus"] / dnn_params
+    bnn_cus_per_param = bnn_pipe.resources["cus"] / bnn_params
+    assert bnn_cus_per_param < dnn_cus_per_param
+    # ...while accuracy takes a hit but stays usable.
+    assert bnn_f1 < dnn_f1 + 2.0  # binarization is not magically better
+    assert bnn_f1 > 60.0

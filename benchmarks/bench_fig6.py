@@ -1,0 +1,30 @@
+"""Figure 6: botnet vs benign flow-level PL and IPT histograms.
+
+Paper's claims: the class-averaged histograms differ — botnet packet
+lengths concentrate in the small bins while benign P2P mass spreads into
+large-packet bins, and botnet inter-arrival times populate the long-gap
+bins that benign traffic barely touches.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import format_fig6, run_fig6
+
+
+def test_fig6_histograms(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig6(n_flows=400, seed=0), rounds=1, iterations=1
+    )
+    record_result("fig6", format_fig6(result))
+    ben_pl = np.array(result["benign_pl"])
+    mal_pl = np.array(result["malicious_pl"])
+    ben_ipt = np.array(result["benign_ipt"])
+    mal_ipt = np.array(result["malicious_ipt"])
+    # Botnet packets concentrate in the small-size bins (< 320 B).
+    assert mal_pl[:5].sum() > 0.8 * mal_pl.sum()
+    # Benign P2P puts substantial mass in the large-packet bins.
+    assert ben_pl[5:].sum() > 0.4 * ben_pl.sum()
+    # Botnet flows populate the long-gap IPT bins far more than benign.
+    assert mal_ipt[1:].sum() > 2.0 * ben_ipt[1:].sum()
+    # The histograms are visibly different overall (L1 distance).
+    assert np.abs(ben_pl / ben_pl.sum() - mal_pl / mal_pl.sum()).sum() > 0.5

@@ -1,0 +1,26 @@
+"""Figure 7: KMeans V-measure under varying MAT budgets (K1..K5).
+
+Paper's claims: Homunculus generates a KMeans variant for each resource
+budget, dropping clusters when tables are scarce; more available MATs
+yield an equal-or-better V-measure.
+"""
+
+from repro.eval.experiments import format_fig7, run_fig7
+
+
+def test_fig7_kmeans_vs_mats(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig7(budget=12, seed=0, quick=True), rounds=1, iterations=1
+    )
+    record_result("fig7", format_fig7(result))
+    series = result["series"]
+    assert set(series) == {f"KMeans{k}" for k in range(1, 6)}
+    # Cluster count never exceeds the MAT budget.
+    for name, data in series.items():
+        assert data["n_clusters"] <= data["mats"]
+        assert data["used_mats"] <= data["mats"]
+    # More tables -> equal or better final V-measure, strictly better
+    # somewhere along the sweep.
+    best = [series[f"KMeans{k}"]["best_v"] for k in range(1, 6)]
+    assert all(a <= b + 1e-6 for a, b in zip(best, best[1:]))
+    assert best[-1] > best[0]

@@ -1,0 +1,102 @@
+"""Substrate microbenchmarks: the building blocks' raw throughput.
+
+These are conventional pytest-benchmark kernels (many rounds) covering
+the components every compile run leans on: DNN training epochs, the BO
+suggest step, the two hardware simulators, and both code generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.taurus import TaurusBackend
+from repro.backends.taurus.ir import lower_network
+from repro.backends.taurus.simulator import TaurusSimulator
+from repro.backends.taurus.spatial_codegen import generate_spatial
+from repro.backends.tofino.bmv2 import MatInterpreter
+from repro.backends.tofino.iisy import lower_svm, lower_tree
+from repro.backends.tofino.p4_codegen import generate_p4
+from repro.bayesopt import BayesianOptimizer, DesignSpace, Integer, Real
+from repro.datasets import load_iot, load_nslkdd
+from repro.ml import (
+    DecisionTreeClassifier,
+    LinearSVM,
+    NeuralNetwork,
+    StandardScaler,
+)
+
+
+@pytest.fixture(scope="module")
+def ad():
+    return load_nslkdd(n_train=800, n_test=400, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tc():
+    return load_iot(n_train=800, n_test=400, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trained(ad):
+    scaler = StandardScaler().fit(ad.train_x)
+    net = NeuralNetwork([7, 12, 8, 1], seed=0)
+    net.fit(scaler.transform(ad.train_x), ad.train_y.astype(float),
+            epochs=10, learning_rate=0.01)
+    return net, scaler
+
+
+def test_nn_training_epoch(benchmark, ad):
+    """One epoch of DNN training on the AD dataset (the BO inner loop)."""
+    scaler = StandardScaler().fit(ad.train_x)
+    X = scaler.transform(ad.train_x)
+    y = ad.train_y.astype(float)
+    net = NeuralNetwork([7, 16, 8, 1], seed=0)
+    benchmark(lambda: net.fit(X, y, epochs=1, learning_rate=0.01))
+
+
+def test_bo_suggest_step(benchmark):
+    """One surrogate-fit + acquisition-argmax step over 30 observations."""
+    space = DesignSpace([Integer("a", 0, 50), Integer("b", 0, 50), Real("c", 0, 1)])
+    optimizer = BayesianOptimizer(
+        space, lambda cfg: float(-(cfg["a"] - 25) ** 2), warmup=5, seed=0
+    )
+    result = optimizer.run(30)
+    benchmark(lambda: optimizer.suggest(result))
+
+
+def test_taurus_simulator_throughput(benchmark, trained, ad):
+    """Fixed-point inference of 400 packets through the MapReduce pipeline."""
+    net, scaler = trained
+    sim = TaurusSimulator(lower_network(net, scaler=scaler))
+    benchmark(lambda: sim.predict(ad.test_x))
+
+
+def test_bmv2_interpreter_throughput(benchmark, tc):
+    """400 packets through a generated SVM match-action pipeline."""
+    scaler = StandardScaler().fit(tc.train_x)
+    svm = LinearSVM(seed=0, epochs=15).fit(scaler.transform(tc.train_x), tc.train_y)
+    interpreter = MatInterpreter(lower_svm(svm, tc.train_x, scaler=scaler))
+    benchmark(lambda: interpreter.predict(tc.test_x))
+
+
+def test_spatial_codegen_speed(benchmark, trained):
+    """Emitting the Spatial program for a trained DNN."""
+    net, scaler = trained
+    program = lower_network(net, scaler=scaler, name="bench")
+    benchmark(lambda: generate_spatial(program))
+
+
+def test_p4_codegen_speed(benchmark, tc):
+    """Emitting the P4 program for a trained decision tree."""
+    scaler = StandardScaler().fit(tc.train_x)
+    tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(
+        scaler.transform(tc.train_x), tc.train_y
+    )
+    pipeline = lower_tree(tree, scaler=scaler, name="bench")
+    benchmark(lambda: generate_p4(pipeline))
+
+
+def test_backend_compile_roundtrip(benchmark, trained):
+    """Full compile_model: lower + codegen + resource/timing estimation."""
+    net, scaler = trained
+    backend = TaurusBackend()
+    benchmark(lambda: backend.compile_model(net, scaler=scaler, name="bench"))

@@ -1,0 +1,28 @@
+"""§5.1.1: reaction time — per-packet partial histograms.
+
+Paper's claims: a model trained on full-flow markers already classifies
+partial (per-packet) markers usefully after a handful of packets, so the
+data plane can react in nanoseconds instead of waiting 3 600 s for the
+flowmarker to complete.
+"""
+
+from repro.eval.experiments import format_reaction_time, run_reaction_time
+
+
+def test_reaction_time(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_reaction_time(seed=0, quick=True, max_packets=16),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("reaction_time", format_reaction_time(result))
+    curve = result["curve"]
+    assert len(curve) >= 8
+    # Already useful after the first packet...
+    assert curve[0]["f1"] > 60.0
+    # ...and clearly better once a few packets have been seen.
+    late = max(point["f1"] for point in curve[4:])
+    assert late > curve[0]["f1"]
+    # The reaction-time gap the paper highlights: ns vs an hour.
+    assert result["per_packet_latency_ns"] < 1000.0
+    assert result["flow_completion_latency_s"] == 3600.0

@@ -1,0 +1,20 @@
+"""Table 3: resource scaling across app-chaining strategies.
+
+Paper's claim: chaining four copies of the AD DNN sequentially, in
+parallel, or in a diamond consumes the *same* resources — the chaining
+glue folds into already-placed CUs.
+"""
+
+from repro.eval.experiments import format_table3, run_table3
+
+
+def test_table3(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_table3(budget=8, seed=0, quick=True), rounds=1, iterations=1
+    )
+    record_result("table3", format_table3(rows))
+    cus = {row["cus"] for row in rows}
+    mus = {row["mus"] for row in rows}
+    assert len(cus) == 1, f"CU usage varies across strategies: {cus}"
+    assert len(mus) == 1, f"MU usage varies across strategies: {mus}"
+    assert all(row["n_models"] == 4 for row in rows)

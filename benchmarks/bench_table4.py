@@ -1,0 +1,22 @@
+"""Table 4: model fusion.
+
+Paper's claim: two models over halves of the AD dataset each cost roughly
+the same as the *single fused model* serving both — fusion halves the
+total resource bill (48/83 fused vs 44/81 + 51/96 split in the paper).
+"""
+
+from repro.eval.experiments import format_table4, run_table4
+
+
+def test_table4(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_table4(budget=8, seed=0, quick=True), rounds=1, iterations=1
+    )
+    record_result("table4", format_table4(rows))
+    part1, part2, fused = rows
+    assert fused["application"] == "AD: Fused"
+    # Fusion must cost far less than the sum of the parts...
+    assert fused["pcus"] < part1["pcus"] + part2["pcus"]
+    assert fused["pmus"] < part1["pmus"] + part2["pmus"]
+    # ...and land in the neighbourhood of a single part (paper: ~average).
+    assert fused["pcus"] <= 2.0 * max(part1["pcus"], part2["pcus"])

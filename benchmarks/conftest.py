@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one table/figure of the paper: it runs the
+experiment through ``pytest-benchmark`` (one round — these are end-to-end
+compiler runs, not microseconds-level kernels) and writes the formatted
+rows to ``benchmarks/results/`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a formatted experiment table to results/<name>.txt and echo it."""
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n(written to {path})")
+
+    return write

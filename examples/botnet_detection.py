@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Botnet detection with per-packet reaction time (§5.1.1–5.1.2).
+
+FlowLens-style botnet detection aggregates packet-length and
+inter-arrival-time histograms (*flowmarkers*) per conversation and
+classifies after the flow completes — up to 3 600 s later.  Homunculus
+instead searches a model that classifies *partial* markers on every
+packet, cutting reaction time to nanoseconds.
+
+This example:
+1. generates synthetic P2P traces (Storm/Waledac botnets vs uTorrent,
+   Vuze, eMule, Frostwire),
+2. trains on full-flow 30-bin markers, evaluates per packet,
+3. searches a Taurus model with Homunculus and compares against the
+   hand-tuned FlowLens-style DNN baseline,
+4. prints the F1-vs-packets-seen reaction curve.
+
+Run:  python examples/botnet_detection.py
+"""
+
+import numpy as np
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.backends.taurus import TaurusBackend
+from repro.datasets import load_botnet
+from repro.datasets.botnet import generate_botnet_flows, partial_marker_dataset
+from repro.eval.baselines import train_baseline_dnn
+from repro.ml.metrics import f1_score
+
+SEED = 0
+
+
+@DataLoader
+def bd_loader():
+    # Train on full-flow markers, test on per-packet partial markers —
+    # the paper's protocol (§5.1.2).
+    return load_botnet(n_train_flows=300, n_test_flows=120, seed=SEED + 13)
+
+
+dataset = bd_loader.load("botnet_detection")
+print(
+    f"flowmarker: {dataset.n_features} bins "
+    f"(23 packet-length + 7 inter-arrival), "
+    f"{dataset.n_train} training flows, {dataset.n_test} per-packet test samples"
+)
+
+# --- Hand-tuned baseline: FlowLens's detector as a 4x10 DNN --------------- #
+baseline_net, baseline_scaler = train_baseline_dnn("bd", dataset, seed=SEED)
+backend = TaurusBackend()
+baseline_pipe = backend.compile_model(
+    baseline_net, scaler=baseline_scaler, name="base_bd"
+)
+baseline_f1 = f1_score(dataset.test_y, baseline_pipe.predict(dataset.test_x))
+print(
+    f"\nBase-BD : F1 {100 * baseline_f1:.1f}, {baseline_net.n_params} params, "
+    f"{baseline_pipe.resources['cus']} CUs / {baseline_pipe.resources['mus']} MUs"
+)
+
+# --- Homunculus search ----------------------------------------------------- #
+model_spec = Model(
+    {
+        "optimization_metric": ["f1"],
+        "algorithm": ["dnn"],
+        "name": "botnet_detection",
+        "data_loader": bd_loader,
+    }
+)
+platform = Platforms.Taurus().constrain(
+    performance={"throughput": 1, "latency": 500},
+    resources={"rows": 16, "cols": 16},
+)
+platform.schedule(model_spec)
+report = repro.generate(platform, budget=12, seed=SEED)
+best = report.best
+print(
+    f"Hom-BD  : F1 {100 * best.objective:.1f}, {best.n_params} params, "
+    f"{best.resources['cus']} CUs / {best.resources['mus']} MUs "
+    f"(topology {best.metadata['topology']})"
+)
+
+# --- Reaction-time curve ---------------------------------------------------- #
+flows = generate_botnet_flows(150, seed=SEED + 99)
+X, y, positions = partial_marker_dataset(flows, max_packets=12)
+pred = baseline_pipe.predict(X)
+print("\nF1 vs packets seen (baseline model, per-packet partial markers):")
+for k in range(1, 13):
+    mask = positions == k
+    if mask.sum() < 10:
+        break
+    print(f"  after {k:>2} packets: F1 {100 * f1_score(y[mask], pred[mask]):5.1f} "
+          f"({int(mask.sum())} flows still active)")
+print(
+    f"\nreaction time: {baseline_pipe.performance.latency_ns:.0f} ns per packet, "
+    "vs 3600 s waiting for flow completion — a ~10^10x faster verdict."
+)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Deploying a generated pipeline against live traffic.
+
+The compiler's output is a data-plane program; this example shows what
+happens *after* `generate()`: a botnet detector runs per-packet over an
+interleaved stream of P2P flows, with conversation state (partial
+flowmarkers) maintained switch-register-style and online statistics
+reported to the operator.
+
+Run:  python examples/live_deployment.py
+"""
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.core.export import export_report
+from repro.datasets import load_botnet
+from repro.datasets.botnet import flow_label, generate_botnet_flows
+from repro.runtime import FlowmarkerTracker, StreamProcessor
+
+SEED = 0
+
+
+# --- 1. compile the detector (training on full-flow markers) -------------- #
+@DataLoader
+def bd_loader():
+    return load_botnet(n_train_flows=300, n_test_flows=100, seed=SEED + 13)
+
+
+spec = Model(
+    {
+        "optimization_metric": ["f1"],
+        "algorithm": ["dnn"],
+        "name": "botnet_detector",
+        "data_loader": bd_loader,
+    }
+)
+platform = Platforms.Taurus().constrain(
+    performance={"throughput": 1, "latency": 500},
+    resources={"rows": 16, "cols": 16},
+)
+platform.schedule(spec)
+report = repro.generate(platform, budget=10, seed=SEED)
+best = report.best
+print(report.summary())
+
+# --- 2. export the deployment bundle --------------------------------------- #
+import tempfile
+
+bundle_dir = tempfile.mkdtemp(prefix="homunculus_deploy_")
+bundle = export_report(report, bundle_dir)
+print(f"\ndeployment bundle written to {bundle}")
+
+# --- 3. run it against a live stream --------------------------------------- #
+# Rebuild the winning pipeline (deterministic) and stream fresh traffic
+# through it, interleaved by timestamp like a real capture.
+from repro.core.evaluator import ModelEvaluator
+from repro.backends.taurus import TaurusBackend
+from repro.rng import derive
+
+evaluator = ModelEvaluator(
+    spec,
+    bd_loader.load("botnet_detector"),
+    best.algorithm,
+    TaurusBackend(),
+    report.constraints,
+    seed=int(derive(SEED, 0).integers(0, 2**31)),
+)
+_, pipeline, _ = evaluator.rebuild(best.best_config)
+
+flows = generate_botnet_flows(200, seed=SEED + 1234)
+tracker = FlowmarkerTracker(max_conversations=1024)
+processor = StreamProcessor(pipeline, tracker, batch_size=256)
+processor.process_flows(flows, label_fn=flow_label)
+
+stats = processor.stats
+print(f"\nstreamed {stats.packets} packets across {len(flows)} flows")
+print(f"online per-packet accuracy: {stats.accuracy:.3f}")
+print(f"flagged-malicious rate:     {stats.positive_rate():.3f}")
+print(f"conversations tracked:      {len(tracker)} (evictions: {tracker.evictions})")
+tp = stats.confusion.get((1, 1), 0)
+fn = stats.confusion.get((1, 0), 0)
+fp = stats.confusion.get((0, 1), 0)
+recall = tp / (tp + fn) if tp + fn else 0.0
+precision = tp / (tp + fp) if tp + fp else 0.0
+print(f"per-packet precision/recall: {precision:.3f} / {recall:.3f}")
+print(
+    f"\nevery verdict took {pipeline.performance.latency_ns:.0f} ns of pipeline "
+    "latency — the reaction-time win over flow-complete detection."
+)

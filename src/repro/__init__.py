@@ -1,0 +1,54 @@
+"""Reproduction of *Homunculus: Auto-Generating Efficient Data-Plane ML
+Pipelines for Datacenter Networks* (ASPLOS 2023).
+
+The public surface mirrors the paper's workflow:
+
+* :mod:`repro.alchemy` — the declarative frontend (``Model``, ``@DataLoader``,
+  ``Platforms``, composition operators),
+* :func:`repro.generate` — the compiler entry point that runs design-space
+  exploration and emits a data-plane program for the scheduled platform,
+* :mod:`repro.backends` — Taurus (Spatial), Tofino (P4/MAT) and FPGA targets,
+* :mod:`repro.ml`, :mod:`repro.bayesopt`, :mod:`repro.netsim`,
+  :mod:`repro.datasets` — the substrates everything is built on.
+"""
+
+from repro.errors import (
+    BackendError,
+    ConstraintError,
+    DatasetError,
+    DesignSpaceError,
+    HomunculusError,
+    InfeasibleError,
+    SpecificationError,
+    TrainingError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "generate",
+    "CompileReport",
+    "HomunculusError",
+    "SpecificationError",
+    "ConstraintError",
+    "DesignSpaceError",
+    "InfeasibleError",
+    "BackendError",
+    "DatasetError",
+    "TrainingError",
+    "__version__",
+]
+
+_LAZY = {"generate": "repro.core.compiler", "CompileReport": "repro.core.compiler"}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the compiler entry points to avoid import cycles."""
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,51 @@
+"""Alchemy: the embedded DSL users write Homunculus programs in (§3.1).
+
+The constructs mirror Table 1 of the paper:
+
+* :class:`Model` — objectives + algorithm list + data loader,
+* :func:`DataLoader` — decorator marking a dataset-loading function,
+* :class:`Platforms` — ``Platforms.Taurus()`` / ``.Tofino()`` / ``.FPGA()``,
+  with ``.constrain(...)`` or the ``<`` operator for constraints,
+* ``>`` / ``|`` — sequential / parallel model composition,
+* :class:`IOMap` / :func:`IOMapper` — inter-model input/output wiring.
+
+A complete program looks like the paper's Figure 3::
+
+    from repro.alchemy import DataLoader, Model, Platforms
+    import repro
+
+    @DataLoader
+    def wrapper_func():
+        ...
+        return {"data": {"train": tnx, "test": tsx},
+                "labels": {"train": tny, "test": tsy}}
+
+    model_spec = Model({
+        "optimization_metric": ["f1"],
+        "algorithm": ["dnn"],
+        "name": "anomaly_detection",
+        "data_loader": wrapper_func})
+
+    platform = Platforms.Taurus()
+    platform.constrain(
+        performance={"throughput": 1, "latency": 500},
+        resources={"rows": 16, "cols": 16})
+    platform.schedule(model_spec)
+    report = repro.generate(platform)
+"""
+
+from repro.alchemy.dataloader import DataLoader
+from repro.alchemy.iomap import IOMap, IOMapper
+from repro.alchemy.model import Model
+from repro.alchemy.platforms import PlatformSpec, Platforms
+from repro.alchemy.schedule import ScheduleNode
+
+__all__ = [
+    "Model",
+    "DataLoader",
+    "Platforms",
+    "PlatformSpec",
+    "ScheduleNode",
+    "IOMap",
+    "IOMapper",
+]

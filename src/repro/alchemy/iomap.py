@@ -1,0 +1,69 @@
+"""IOMap: wiring between models and the outside world (Table 1).
+
+``IOMap`` carries a mapper function that routes upstream outputs (and raw
+packet features) into downstream model inputs; ``@IOMapper`` declares the
+names it consumes and produces so the frontend can check arity before any
+training happens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SpecificationError
+
+
+class BoundIOMapper:
+    """A mapper function with declared input/output names."""
+
+    def __init__(self, fn: Callable, inputs: list, outputs: list) -> None:
+        if not callable(fn):
+            raise SpecificationError("@IOMapper must wrap a callable")
+        if not inputs or not outputs:
+            raise SpecificationError("IOMapper needs non-empty input and output lists")
+        if len(set(inputs)) != len(inputs) or len(set(outputs)) != len(outputs):
+            raise SpecificationError("IOMapper names must be unique")
+        self._fn = fn
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.__name__ = getattr(fn, "__name__", "io_mapper")
+
+    def __call__(self, **kwargs):
+        missing = set(self.inputs) - set(kwargs)
+        if missing:
+            raise SpecificationError(f"IOMapper missing inputs: {sorted(missing)}")
+        result = self._fn(**{k: kwargs[k] for k in self.inputs})
+        if not isinstance(result, dict):
+            raise SpecificationError("IOMapper must return a dict of outputs")
+        missing_out = set(self.outputs) - set(result)
+        if missing_out:
+            raise SpecificationError(f"IOMapper missing outputs: {sorted(missing_out)}")
+        return {k: result[k] for k in self.outputs}
+
+
+def IOMapper(io_ins: list, io_outs: list):
+    """Decorator factory declaring a mapper's input/output names."""
+
+    def decorate(fn: Callable) -> BoundIOMapper:
+        return BoundIOMapper(fn, io_ins, io_outs)
+
+    return decorate
+
+
+class IOMap:
+    """Connects components' inputs and outputs via a mapper function."""
+
+    def __init__(self, mapper: "BoundIOMapper | Callable") -> None:
+        if isinstance(mapper, BoundIOMapper):
+            self.mapper = mapper
+        elif callable(mapper):
+            # Un-annotated callables get pass-through declarations.
+            self.mapper = BoundIOMapper(
+                lambda **kw: mapper(**kw), ["inputs"], ["outputs"]
+            )
+        else:
+            raise SpecificationError("IOMap requires a callable mapper")
+
+    def route(self, **kwargs) -> dict:
+        """Apply the mapping."""
+        return self.mapper(**kwargs)

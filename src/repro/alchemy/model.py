@@ -1,0 +1,111 @@
+"""The Alchemy ``Model`` construct.
+
+A ``Model`` declares *intent*: which metric to optimize, which algorithm
+families may be searched (empty = all the platform supports), and where
+the data comes from.  It deliberately contains no architecture — that is
+the optimization core's job.
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.dataloader import BoundDataLoader, DataLoader
+from repro.errors import SpecificationError
+
+#: Metrics the optimization core knows how to score.
+SUPPORTED_METRICS = ("f1", "accuracy", "v_measure")
+
+#: Algorithm families the design-space builder can search.
+SUPPORTED_ALGORITHMS = ("dnn", "bnn", "svm", "kmeans", "decision_tree")
+
+
+class Model:
+    """Declarative model specification (paper Figure 3 / Table 1).
+
+    Accepts the paper's dict style ``Model({...})`` or keyword style
+    ``Model(name=..., optimization_metric=[...], ...)``.
+    """
+
+    def __init__(self, spec: "dict | None" = None, **kwargs) -> None:
+        merged: dict = {}
+        if spec is not None:
+            if not isinstance(spec, dict):
+                raise SpecificationError("Model(spec) expects a dict")
+            merged.update(spec)
+        merged.update(kwargs)
+
+        name = merged.pop("name", None)
+        if not name or not isinstance(name, str):
+            raise SpecificationError("Model requires a non-empty string 'name'")
+        self.name = name
+
+        metrics = merged.pop("optimization_metric", ["f1"])
+        if isinstance(metrics, str):
+            metrics = [metrics]
+        if not metrics:
+            raise SpecificationError("optimization_metric cannot be empty")
+        unknown = [m for m in metrics if m not in SUPPORTED_METRICS]
+        if unknown:
+            raise SpecificationError(
+                f"unsupported metrics {unknown}; supported: {SUPPORTED_METRICS}"
+            )
+        self.optimization_metrics = tuple(metrics)
+
+        algorithms = merged.pop("algorithm", [])
+        if isinstance(algorithms, str):
+            algorithms = [algorithms]
+        unknown = [a for a in algorithms if a not in SUPPORTED_ALGORITHMS]
+        if unknown:
+            raise SpecificationError(
+                f"unsupported algorithms {unknown}; supported: {SUPPORTED_ALGORITHMS}"
+            )
+        self.algorithms = tuple(algorithms)  # empty = let Homunculus choose
+
+        loader = merged.pop("data_loader", None)
+        if loader is None:
+            raise SpecificationError("Model requires a 'data_loader'")
+        if not isinstance(loader, BoundDataLoader):
+            if callable(loader):
+                loader = DataLoader(loader)
+            else:
+                raise SpecificationError("data_loader must be callable")
+        self.data_loader = loader
+
+        throughput = merged.pop("throughput", None)
+        if throughput is not None and throughput <= 0:
+            raise SpecificationError("model throughput must be positive")
+        self.throughput = throughput  # optional per-model Gpkt/s requirement
+
+        if merged:
+            raise SpecificationError(f"unknown Model keys: {sorted(merged)}")
+
+    @property
+    def primary_metric(self) -> str:
+        return self.optimization_metrics[0]
+
+    def load_dataset(self):
+        """Materialize the dataset via the bound loader."""
+        return self.data_loader.load(name=self.name)
+
+    # -- composition operators (Table 1) -----------------------------------
+    #
+    # CAUTION: Python *chains* comparison operators, so ``a > b > c``
+    # evaluates as ``(a > b) and (b > c)`` and silently drops the first
+    # stage.  Parenthesize every step (``(a > b) > c``) or use the ``>>``
+    # alias, which is not a comparison and composes left to right safely.
+    def __gt__(self, other):
+        from repro.alchemy.schedule import ScheduleNode
+
+        return ScheduleNode.sequential(ScheduleNode.leaf(self), ScheduleNode.wrap(other))
+
+    def __rshift__(self, other):
+        """Chaining-safe sequential composition (``a >> b >> c``)."""
+        return self.__gt__(other)
+
+    def __or__(self, other):
+        from repro.alchemy.schedule import ScheduleNode
+
+        return ScheduleNode.parallel(ScheduleNode.leaf(self), ScheduleNode.wrap(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        algos = ",".join(self.algorithms) or "auto"
+        return f"Model({self.name!r}, metric={self.primary_metric}, algos={algos})"

@@ -1,0 +1,145 @@
+"""The ``Platforms`` construct: declare a backend target + constraints.
+
+``Platforms.Taurus()`` / ``.Tofino()`` / ``.FPGA()`` return a
+:class:`PlatformSpec` that accumulates performance/resource constraints
+(via :meth:`PlatformSpec.constrain` or the ``<`` operator from Table 1)
+and the model schedule, then feeds :func:`repro.generate`.
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.model import Model
+from repro.alchemy.schedule import ScheduleNode
+from repro.backends.registry import get_backend
+from repro.errors import ConstraintError, SpecificationError
+
+#: Default constraints per target: the paper's 1 Gpkt/s line rate and the
+#: latency budgets / resource envelopes each platform naturally has.
+_DEFAULTS = {
+    "taurus": {
+        "performance": {"throughput": 1.0, "latency": 500.0},
+        "resources": {"rows": 16, "cols": 16},
+    },
+    "tofino": {
+        "performance": {"throughput": 1.0, "latency": 1000.0},
+        "resources": {"mats": 32},
+    },
+    "fpga": {
+        "performance": {"throughput": 0.25, "latency": 2000.0},
+        "resources": {"lut_pct": 100.0, "ff_pct": 100.0, "bram_pct": 100.0},
+    },
+}
+
+
+class PlatformSpec:
+    """A backend target plus its constraints and scheduled models."""
+
+    def __init__(self, target: str) -> None:
+        target = target.lower()
+        if target not in _DEFAULTS:
+            raise SpecificationError(
+                f"unknown platform {target!r}; available: {sorted(_DEFAULTS)}"
+            )
+        self.target = target
+        defaults = _DEFAULTS[target]
+        self.performance = dict(defaults["performance"])
+        self.resources = dict(defaults["resources"])
+        self.schedule_root: "ScheduleNode | None" = None
+
+    # -- constraints ----------------------------------------------------------
+    def constrain(
+        self,
+        constraints: "dict | None" = None,
+        performance: "dict | None" = None,
+        resources: "dict | None" = None,
+    ) -> "PlatformSpec":
+        """Apply constraints; accepts the paper's nested-dict style or kwargs."""
+        if constraints is not None:
+            if not isinstance(constraints, dict):
+                raise ConstraintError("constrain() expects dicts")
+            performance = constraints.get("performance", performance)
+            resources = constraints.get("resources", resources)
+            unknown = set(constraints) - {"performance", "resources"}
+            if unknown:
+                raise ConstraintError(f"unknown constraint groups: {sorted(unknown)}")
+        if performance is not None:
+            for key, value in performance.items():
+                if key not in ("throughput", "latency"):
+                    raise ConstraintError(f"unknown performance constraint {key!r}")
+                if value is not None and value <= 0:
+                    raise ConstraintError(f"{key} must be positive, got {value}")
+            self.performance.update(performance)
+        if resources is not None:
+            for key, value in resources.items():
+                if value is not None and value <= 0:
+                    raise ConstraintError(f"resource {key!r} must be positive")
+            self.resources.update(resources)
+        return self
+
+    def __lt__(self, other) -> "PlatformSpec":
+        """The Table-1 shorthand: ``Platforms < (performance, resources)``."""
+        if isinstance(other, dict):
+            return self.constrain(other)
+        if isinstance(other, tuple) and len(other) == 2:
+            performance, resources = other
+            return self.constrain(performance=performance, resources=resources)
+        raise ConstraintError(
+            "platform < constraint expects a dict or a (performance, resources) tuple"
+        )
+
+    # -- scheduling --------------------------------------------------------------
+    def schedule(self, spec) -> "PlatformSpec":
+        """Schedule a model or a composition (``mdl1 > mdl2``...)."""
+        if isinstance(spec, Model):
+            node = ScheduleNode.leaf(spec)
+        elif isinstance(spec, ScheduleNode):
+            node = spec
+        else:
+            raise SpecificationError(
+                f"schedule() expects Model or composition, got {type(spec).__name__}"
+            )
+        if self.schedule_root is None:
+            self.schedule_root = node
+        else:
+            # Scheduling twice runs the applications side by side.
+            self.schedule_root = ScheduleNode.parallel(self.schedule_root, node)
+        return self
+
+    # -- plumbing for the compiler ----------------------------------------------
+    def backend(self):
+        """Instantiate the backend this spec targets."""
+        return get_backend(self.target)
+
+    def constraints(self) -> dict:
+        """The combined constraint dict the feasibility check consumes."""
+        backend = self.backend()
+        return {
+            "performance": dict(self.performance),
+            "resources": backend.resource_limits(self.resources),
+        }
+
+    def models(self) -> list:
+        """Distinct scheduled models (shared pipelines placed once)."""
+        if self.schedule_root is None:
+            raise SpecificationError("no models scheduled on this platform")
+        return self.schedule_root.distinct_models()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sched = self.schedule_root.describe() if self.schedule_root else "<empty>"
+        return f"PlatformSpec({self.target}, schedule={sched})"
+
+
+class Platforms:
+    """Factory namespace: ``Platforms.Taurus()`` etc. (paper Figure 3)."""
+
+    @staticmethod
+    def Taurus() -> PlatformSpec:
+        return PlatformSpec("taurus")
+
+    @staticmethod
+    def Tofino() -> PlatformSpec:
+        return PlatformSpec("tofino")
+
+    @staticmethod
+    def FPGA() -> PlatformSpec:
+        return PlatformSpec("fpga")

@@ -1,0 +1,26 @@
+"""Hardware backends: Taurus (Spatial), Tofino (P4/MATs), and FPGA.
+
+Each backend lowers a trained model to target-specific code, estimates the
+resources and timing of the result, and renders a feasibility verdict
+against the platform constraints — the role played in the paper by the
+Spatial/SARA toolchain, Barefoot P4 Studio + IIsy, and Vivado respectively.
+"""
+
+from repro.backends.base import (
+    Backend,
+    CompiledPipeline,
+    FeasibilityVerdict,
+    PerformanceEstimate,
+    ResourceUsage,
+)
+from repro.backends.registry import available_backends, get_backend
+
+__all__ = [
+    "Backend",
+    "CompiledPipeline",
+    "FeasibilityVerdict",
+    "PerformanceEstimate",
+    "ResourceUsage",
+    "get_backend",
+    "available_backends",
+]

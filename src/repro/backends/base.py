@@ -1,0 +1,168 @@
+"""Backend protocol and the shared report dataclasses.
+
+A backend consumes a trained model and produces a
+:class:`CompiledPipeline`: generated source code, a resource-usage
+breakdown, a performance estimate, and an executable form (the simulator)
+used for verification.  The optimization core only ever talks to this
+interface — exactly the decoupling the paper relies on to stay
+"agnostic to architectural variations" (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BackendError
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource consumption keyed by resource name (units are per-backend:
+    CUs/MUs for Taurus, MATs/entries for Tofino, percentages for FPGA)."""
+
+    usage: dict
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self.usage[name]
+        except KeyError:
+            raise BackendError(f"unknown resource {name!r}") from None
+
+    def within(self, limits: dict) -> bool:
+        """True iff every limited resource is at or under its limit."""
+        return not self.violations(limits)
+
+    def violations(self, limits: dict) -> list:
+        """Human-readable list of exceeded limits."""
+        problems = []
+        for name, limit in limits.items():
+            used = self.usage.get(name)
+            if used is None:
+                continue
+            if used > limit:
+                problems.append(f"{name}: {used} > limit {limit}")
+        return problems
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Line-rate performance of a compiled pipeline.
+
+    ``throughput_gpps`` is packets per nanosecond x 1 (i.e. Gpkt/s, the
+    paper's unit); ``latency_ns`` is per-packet pipeline latency.
+    """
+
+    throughput_gpps: float
+    latency_ns: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_gpps <= 0 or self.latency_ns <= 0:
+            raise BackendError("throughput and latency must be positive")
+
+    def meets(self, performance: dict) -> list:
+        """Check against ``{"throughput": Gpkt/s, "latency": ns}`` constraints;
+        returns a list of violation strings (empty = compliant)."""
+        problems = []
+        min_tput = performance.get("throughput")
+        max_latency = performance.get("latency")
+        if min_tput is not None and self.throughput_gpps < min_tput:
+            problems.append(
+                f"throughput: {self.throughput_gpps:.3f} Gpkt/s < required {min_tput}"
+            )
+        if max_latency is not None and self.latency_ns > max_latency:
+            problems.append(
+                f"latency: {self.latency_ns:.1f} ns > allowed {max_latency}"
+            )
+        return problems
+
+
+@dataclass(frozen=True)
+class FeasibilityVerdict:
+    """The verdict the optimization core consumes for one candidate."""
+
+    feasible: bool
+    reasons: tuple = ()
+
+    @classmethod
+    def ok(cls) -> "FeasibilityVerdict":
+        return cls(feasible=True)
+
+    @classmethod
+    def fail(cls, reasons: list) -> "FeasibilityVerdict":
+        return cls(feasible=False, reasons=tuple(reasons))
+
+
+@dataclass
+class CompiledPipeline:
+    """The artifact a backend produces for one model.
+
+    Attributes
+    ----------
+    backend / model_kind:
+        provenance (e.g. ``"taurus"`` / ``"dnn"``).
+    sources:
+        generated code keyed by filename (Spatial ``.scala``, P4 ``.p4``...).
+    resources / performance:
+        the estimates the feasibility check runs against.
+    executable:
+        an object with ``predict(X) -> labels`` that runs the *lowered*
+        (quantized / table-ized) program, used to validate equivalence with
+        the trained model.
+    metadata:
+        free-form extras (parameter counts, II, table entry counts...).
+    """
+
+    backend: str
+    model_kind: str
+    sources: dict
+    resources: ResourceUsage
+    performance: PerformanceEstimate
+    executable: object = None
+    metadata: dict = field(default_factory=dict)
+
+    def predict(self, X) -> np.ndarray:
+        """Run the lowered pipeline on feature rows."""
+        if self.executable is None:
+            raise BackendError(f"{self.backend} pipeline has no executable form")
+        return self.executable.predict(X)
+
+    def check(self, constraints: dict) -> FeasibilityVerdict:
+        """Evaluate resource + performance constraints.
+
+        ``constraints`` follows the Alchemy shape:
+        ``{"performance": {"throughput", "latency"}, "resources": {...}}``.
+        """
+        problems: list = []
+        problems.extend(self.resources.violations(constraints.get("resources", {})))
+        problems.extend(self.performance.meets(constraints.get("performance", {})))
+        if problems:
+            return FeasibilityVerdict.fail(problems)
+        return FeasibilityVerdict.ok()
+
+
+class Backend:
+    """Base class for targets.
+
+    Subclasses set :attr:`name` and :attr:`supported_algorithms` and
+    implement :meth:`compile_model`.
+    """
+
+    name: str = "abstract"
+    supported_algorithms: tuple = ()
+
+    def supports(self, algorithm: str) -> bool:
+        return algorithm in self.supported_algorithms
+
+    def compile_model(self, model, feature_names: "tuple | None" = None) -> CompiledPipeline:
+        """Lower a trained model to this target."""
+        raise NotImplementedError
+
+    def resource_limits(self, resources: dict) -> dict:
+        """Translate an Alchemy resource spec into concrete limits.
+
+        Default: pass through unchanged; backends override to expand
+        shorthand like Taurus's ``{"rows": 16, "cols": 16}``.
+        """
+        return dict(resources)

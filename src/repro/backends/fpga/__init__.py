@@ -1,0 +1,19 @@
+"""FPGA backend: utilisation and power model for the Taurus FPGA testbed.
+
+The paper's end-to-end evaluation (§5.2) compiles Spatial pipelines to
+Verilog and runs them on a Xilinx Alveo U250 acting as a
+bump-in-the-wire MapReduce block, reporting LUT/FF/BRAM utilisation and
+board power (Table 5).  This backend reproduces that reporting path with
+an analytic model calibrated to the table's loopback shell.
+"""
+
+from repro.backends.fpga.backend import FpgaBackend
+from repro.backends.fpga.power import estimate_power_watts
+from repro.backends.fpga.resources import FpgaDevice, estimate_fpga_utilisation
+
+__all__ = [
+    "FpgaBackend",
+    "FpgaDevice",
+    "estimate_fpga_utilisation",
+    "estimate_power_watts",
+]

@@ -1,0 +1,98 @@
+"""The FPGA backend entry point.
+
+Functionally identical to the Taurus backend (the testbed *emulates* the
+MapReduce block on the FPGA, §5.2), but reports FPGA-native resources —
+LUT/FF/BRAM percentages and board power — and FPGA timing.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, CompiledPipeline, PerformanceEstimate
+from repro.backends.fpga.power import estimate_power_watts
+from repro.backends.fpga.resources import (
+    CLOCK_GHZ,
+    FpgaDevice,
+    estimate_fpga_utilisation,
+)
+from repro.backends.taurus.ir import (
+    lower_binarized_network,
+    lower_network,
+    lower_svm,
+)
+from repro.backends.taurus.simulator import TaurusSimulator
+from repro.backends.taurus.spatial_codegen import generate_spatial
+from repro.errors import BackendError
+from repro.ml.bnn import BinarizedNetwork
+from repro.ml.network import NeuralNetwork
+from repro.ml.quantization import DEFAULT_FORMAT
+from repro.ml.svm import LinearSVM
+
+
+class FpgaBackend(Backend):
+    """Compile DNN/BNN/SVM models for the FPGA bump-in-the-wire testbed."""
+
+    name = "fpga"
+    supported_algorithms = ("dnn", "bnn", "svm")
+
+    def __init__(self, device: FpgaDevice = FpgaDevice()) -> None:
+        self.device = device
+
+    def resource_limits(self, resources: dict) -> dict:
+        """Accept percentage ceilings for lut/ff/bram (defaults: 100 %)."""
+        limits = {}
+        for key in ("lut_pct", "ff_pct", "bram_pct"):
+            limits[key] = resources.get(key, 100.0)
+        return limits
+
+    def compile_model(
+        self,
+        model,
+        feature_names: "tuple | None" = None,
+        scaler=None,
+        name: str = "pipeline",
+        fmt=DEFAULT_FORMAT,
+    ) -> CompiledPipeline:
+        binary = False
+        if isinstance(model, NeuralNetwork):
+            program = lower_network(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "dnn"
+            n_params = model.n_params
+        elif isinstance(model, BinarizedNetwork):
+            program = lower_binarized_network(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "bnn"
+            n_params = model.n_params
+            binary = True
+        elif isinstance(model, LinearSVM):
+            program = lower_svm(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "svm"
+            n_params = model.n_params
+        else:
+            raise BackendError(
+                f"FPGA backend cannot lower {type(model).__name__}; "
+                f"supported: {self.supported_algorithms}"
+            )
+        simulator = TaurusSimulator(program)
+        topology = program.topology
+        utilisation = estimate_fpga_utilisation(topology, binary=binary)
+        power = estimate_power_watts(utilisation)
+        # FPGA datapath is fully pipelined at CLOCK_GHZ: one packet per
+        # cycle, latency = pipeline depth / clock.
+        performance = PerformanceEstimate(
+            throughput_gpps=CLOCK_GHZ,
+            latency_ns=simulator.pipeline_cycles() / CLOCK_GHZ,
+        )
+        return CompiledPipeline(
+            backend=self.name,
+            model_kind=kind,
+            sources={f"{name}.scala": generate_spatial(program)},
+            resources=utilisation,
+            performance=performance,
+            executable=simulator,
+            metadata={
+                "n_params": n_params,
+                "topology": topology,
+                "power_watts": power,
+                "device": self.device.name,
+                "fixed_point": str(fmt),
+            },
+        )

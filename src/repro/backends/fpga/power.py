@@ -1,0 +1,28 @@
+"""Board power model for the FPGA testbed.
+
+Table 5 reports total board power; the dominant terms are the static shell
+power (loopback draws 15.131 W with zero model logic) plus dynamic power
+proportional to active logic.  We model dynamic power as linear in the
+LUT/FF utilisation added on top of the shell, with coefficients fitted to
+the table's band (models adding ~1.2 % LUT draw ~1.8 W extra).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ResourceUsage
+from repro.backends.fpga.resources import SHELL_FF_PCT, SHELL_LUT_PCT
+
+#: Board power of the bare loopback shell (W), from Table 5.
+SHELL_POWER_W = 15.131
+
+#: Dynamic watts per added percent of LUT / FF utilisation.
+WATTS_PER_LUT_PCT = 1.25
+WATTS_PER_FF_PCT = 0.55
+
+
+def estimate_power_watts(utilisation: ResourceUsage) -> float:
+    """Total board power (W) for a pipeline's utilisation report."""
+    extra_lut = max(0.0, utilisation["lut_pct"] - SHELL_LUT_PCT)
+    extra_ff = max(0.0, utilisation["ff_pct"] - SHELL_FF_PCT)
+    power = SHELL_POWER_W + WATTS_PER_LUT_PCT * extra_lut + WATTS_PER_FF_PCT * extra_ff
+    return round(power, 3)

@@ -1,0 +1,109 @@
+"""FPGA utilisation model (Alveo U250 class device).
+
+Calibrated against Table 5's structure:
+
+* the *loopback shell* (CMAC core, AXI plumbing) costs a fixed
+  LUT/FF/BRAM floor — the paper measures 5.36 % / 3.64 % / 4.15 %,
+* model parameters are stored in LUTs ("LUTs store the parameters of a
+  model in FPGA", §5.2.1), so LUT% grows with parameter count,
+* MAC datapaths add both LUTs and pipeline FFs, so FF% grows with the
+  MAC count and layer count,
+* BRAM stays at the shell level — parameters do not spill to BRAM for
+  models of this size, which is why the paper's BRAM column is constant.
+
+Constants were fitted so the paper's example topologies (200–700
+parameters) land in Table 5's 6.5–7.5 % LUT band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import ResourceUsage
+from repro.errors import BackendError
+
+#: Loopback shell utilisation (% of device), from Table 5's loopback row.
+SHELL_LUT_PCT = 5.36
+SHELL_FF_PCT = 3.64
+SHELL_BRAM_PCT = 4.15
+
+#: Marginal LUT% per stored parameter (parameters live in LUTs).
+LUT_PCT_PER_PARAM = 0.004
+
+#: Marginal LUT% per MAC lane of datapath.
+LUT_PCT_PER_MAC = 0.0012
+
+#: Marginal FF% per MAC lane (pipeline registers).
+FF_PCT_PER_MAC = 0.0024
+
+#: Marginal FF% per pipeline stage (stage valid/control registers).
+FF_PCT_PER_STAGE = 0.02
+
+#: Clock frequency of the generated datapath in GHz (the testbed's 100G
+#: path runs the MapReduce logic at ~250 MHz... the Spatial design closes
+#: timing at 250 MHz on the U250).
+CLOCK_GHZ = 0.25
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Device capacity; percentages are relative to these totals."""
+
+    name: str = "alveo-u250"
+    luts: int = 1_728_000
+    ffs: int = 3_456_000
+    brams: int = 2_688
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.brams) < 1:
+            raise BackendError("device capacities must be positive")
+
+
+def dnn_macs(layer_dims: list) -> int:
+    """Multiply-accumulate count of one inference pass."""
+    if len(layer_dims) < 2:
+        raise BackendError(f"topology needs [in, out] at least, got {layer_dims}")
+    return sum(a * b for a, b in zip(layer_dims, layer_dims[1:]))
+
+
+def dnn_params(layer_dims: list) -> int:
+    """Stored parameter count (weights + biases)."""
+    if len(layer_dims) < 2:
+        raise BackendError(f"topology needs [in, out] at least, got {layer_dims}")
+    return sum((a + 1) * b for a, b in zip(layer_dims, layer_dims[1:]))
+
+
+def estimate_fpga_utilisation(layer_dims: list, binary: bool = False) -> ResourceUsage:
+    """LUT/FF/BRAM utilisation (%) for a DNN pipeline on the testbed FPGA.
+
+    ``binary=True`` models an N2Net-style binarized network: parameters
+    shrink to one bit (16x fewer LUTs) and MAC datapaths become
+    XNOR+popcount (8x denser).
+    """
+    params = dnn_params(layer_dims)
+    macs = dnn_macs(layer_dims)
+    stages = len(layer_dims) - 1
+    param_cost = LUT_PCT_PER_PARAM / (16 if binary else 1)
+    mac_cost_lut = LUT_PCT_PER_MAC / (8 if binary else 1)
+    mac_cost_ff = FF_PCT_PER_MAC / (8 if binary else 1)
+    lut = SHELL_LUT_PCT + param_cost * params + mac_cost_lut * macs
+    ff = SHELL_FF_PCT + mac_cost_ff * macs + FF_PCT_PER_STAGE * stages
+    bram = SHELL_BRAM_PCT  # parameters are held in LUTs, not BRAM
+    return ResourceUsage(
+        {
+            "lut_pct": round(lut, 2),
+            "ff_pct": round(ff, 2),
+            "bram_pct": round(bram, 2),
+        }
+    )
+
+
+def loopback_utilisation() -> ResourceUsage:
+    """The bare bump-in-the-wire shell (Table 5's first row)."""
+    return ResourceUsage(
+        {
+            "lut_pct": SHELL_LUT_PCT,
+            "ff_pct": SHELL_FF_PCT,
+            "bram_pct": SHELL_BRAM_PCT,
+        }
+    )

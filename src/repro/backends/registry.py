@@ -1,0 +1,58 @@
+"""Backend registry.
+
+Maps platform names to backend factories.  Lookup is lazy so importing
+:mod:`repro.backends` does not pull in every target's dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BackendError
+
+
+def _taurus():
+    from repro.backends.taurus.backend import TaurusBackend
+
+    return TaurusBackend()
+
+
+def _tofino():
+    from repro.backends.tofino.backend import TofinoBackend
+
+    return TofinoBackend()
+
+
+def _fpga():
+    from repro.backends.fpga.backend import FpgaBackend
+
+    return FpgaBackend()
+
+
+_FACTORIES: dict[str, Callable] = {
+    "taurus": _taurus,
+    "tofino": _tofino,
+    "fpga": _fpga,
+}
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backend targets."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(name: str):
+    """Instantiate a backend by name (case-insensitive)."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    return factory()
+
+
+def register_backend(name: str, factory: Callable) -> None:
+    """Register a custom backend factory (e.g. for tests or new targets)."""
+    if not callable(factory):
+        raise BackendError("factory must be callable")
+    _FACTORIES[name.lower()] = factory

@@ -1,0 +1,24 @@
+"""Taurus backend: MapReduce CGRA grid + Spatial code generation.
+
+Taurus (ASPLOS 2022) adds a Plasticine-style grid of Compute Units (CUs)
+and Memory Units (MUs) to a PISA switch, programmed in the Spatial DSL.
+This package provides:
+
+* :mod:`repro.backends.taurus.resources` — the calibrated CU/MU cost model,
+* :mod:`repro.backends.taurus.ir` — the map/reduce stage IR models lower to,
+* :mod:`repro.backends.taurus.simulator` — a fixed-point functional and
+  timing simulator (the SARA/Tungsten stand-in),
+* :mod:`repro.backends.taurus.spatial_codegen` — Spatial source emission,
+* :mod:`repro.backends.taurus.backend` — the :class:`TaurusBackend` entry.
+"""
+
+from repro.backends.taurus.backend import TaurusBackend
+from repro.backends.taurus.resources import TaurusGrid, estimate_dnn_resources
+from repro.backends.taurus.simulator import TaurusSimulator
+
+__all__ = [
+    "TaurusBackend",
+    "TaurusGrid",
+    "TaurusSimulator",
+    "estimate_dnn_resources",
+]

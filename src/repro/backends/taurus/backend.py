@@ -1,0 +1,88 @@
+"""The Taurus backend entry point."""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, CompiledPipeline
+from repro.backends.taurus.ir import (
+    lower_binarized_network,
+    lower_network,
+    lower_svm,
+)
+from repro.backends.taurus.resources import TaurusGrid
+from repro.backends.taurus.simulator import TaurusSimulator
+from repro.backends.taurus.spatial_codegen import generate_spatial
+from repro.errors import BackendError
+from repro.ml.bnn import BinarizedNetwork
+from repro.ml.network import NeuralNetwork
+from repro.ml.quantization import DEFAULT_FORMAT
+from repro.ml.svm import LinearSVM
+
+
+class TaurusBackend(Backend):
+    """Lower DNN/SVM models to the Taurus MapReduce grid.
+
+    ``compile_model`` accepts a trained model (plus an optional fitted
+    StandardScaler folded into the pipeline) and returns the Spatial
+    source, resource usage, performance estimate and a fixed-point
+    executable — everything the optimization core's feasibility test needs.
+    """
+
+    name = "taurus"
+    supported_algorithms = ("dnn", "svm", "bnn")
+
+    def __init__(self, grid: TaurusGrid = TaurusGrid()) -> None:
+        self.grid = grid
+
+    def resource_limits(self, resources: dict) -> dict:
+        """Expand ``{"rows", "cols"}`` shorthand into CU/MU limits."""
+        rows = resources.get("rows")
+        cols = resources.get("cols")
+        if rows is not None and cols is not None:
+            return TaurusGrid(rows=int(rows), cols=int(cols)).limits()
+        limits = {}
+        for key in ("cus", "mus"):
+            if key in resources:
+                limits[key] = resources[key]
+        return limits or self.grid.limits()
+
+    def compile_model(
+        self,
+        model,
+        feature_names: "tuple | None" = None,
+        scaler=None,
+        name: str = "pipeline",
+        fmt=DEFAULT_FORMAT,
+    ) -> CompiledPipeline:
+        if isinstance(model, NeuralNetwork):
+            program = lower_network(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "dnn"
+            n_params = model.n_params
+        elif isinstance(model, BinarizedNetwork):
+            program = lower_binarized_network(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "bnn"
+            n_params = model.n_params
+        elif isinstance(model, LinearSVM):
+            program = lower_svm(model, scaler=scaler, fmt=fmt, name=name)
+            kind = "svm"
+            n_params = model.n_params
+        else:
+            raise BackendError(
+                f"Taurus backend cannot lower {type(model).__name__}; "
+                f"supported: {self.supported_algorithms}"
+            )
+        simulator = TaurusSimulator(program, grid=self.grid)
+        return CompiledPipeline(
+            backend=self.name,
+            model_kind=kind,
+            sources={f"{name}.scala": generate_spatial(program)},
+            resources=simulator.resources(),
+            performance=simulator.performance(),
+            executable=simulator,
+            metadata={
+                "n_params": n_params,
+                "topology": program.topology,
+                "pipeline_cycles": simulator.pipeline_cycles(),
+                "fixed_point": str(fmt),
+                "grid": (self.grid.rows, self.grid.cols),
+            },
+        )

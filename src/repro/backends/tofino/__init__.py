@@ -1,0 +1,20 @@
+"""Tofino backend: match-action tables via the IIsy mapping.
+
+MAT-based switches (Tofino, P4-NetFPGA) execute classical ML models by
+exploiting the structural match between the algorithms and match-action
+tables (IIsy, HotNets 2019).  This package provides:
+
+* :mod:`repro.backends.tofino.mat` — the typed MAT IR,
+* :mod:`repro.backends.tofino.iisy` — SVM/KMeans/decision-tree lowering,
+* :mod:`repro.backends.tofino.bmv2` — a behavioral pipeline interpreter
+  (the BMv2 stand-in used to verify generated programs),
+* :mod:`repro.backends.tofino.p4_codegen` — P4-16 source emission,
+* :mod:`repro.backends.tofino.resources` — the MAT budget model,
+* :mod:`repro.backends.tofino.backend` — the :class:`TofinoBackend` entry.
+"""
+
+from repro.backends.tofino.backend import TofinoBackend
+from repro.backends.tofino.bmv2 import MatInterpreter
+from repro.backends.tofino.resources import TofinoModel
+
+__all__ = ["TofinoBackend", "MatInterpreter", "TofinoModel"]

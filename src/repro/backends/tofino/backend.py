@@ -1,0 +1,107 @@
+"""The Tofino backend entry point.
+
+Implements the paper's §4 behaviour: IIsy as the lowering layer, MATs as
+the constraining resource, and automatic *feature pruning* for SVMs — "if
+the number of MATs is insufficient, Homunculus will try to remove less
+impactful features until the SVM model fits".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, CompiledPipeline
+from repro.backends.tofino.bmv2 import MatInterpreter
+from repro.backends.tofino.iisy import lower_kmeans, lower_svm, lower_tree
+from repro.backends.tofino.p4_codegen import generate_p4
+from repro.backends.tofino.resources import (
+    TofinoModel,
+    check_entry_capacity,
+    pipeline_performance,
+    pipeline_resources,
+)
+from repro.errors import BackendError
+from repro.ml.kmeans import KMeans
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TofinoBackend(Backend):
+    """Lower SVM / KMeans / decision-tree models onto match-action tables."""
+
+    name = "tofino"
+    supported_algorithms = ("svm", "kmeans", "decision_tree")
+
+    def __init__(self, model: TofinoModel = TofinoModel()) -> None:
+        self.model = model
+
+    def resource_limits(self, resources: dict) -> dict:
+        """Accept ``{"mats": N}`` (or ``{"tables": N}`` as an alias)."""
+        if "mats" in resources:
+            return {"mats": resources["mats"]}
+        if "tables" in resources:
+            return {"mats": resources["tables"]}
+        return self.model.limits()
+
+    @staticmethod
+    def prune_svm_features(svm, train_x: np.ndarray, max_features: int) -> list:
+        """Indices of the ``max_features`` most impactful SVM features.
+
+        Impact = |w_f| x std(x_f) — the score swing a feature can cause —
+        matching the paper's "remove less impactful features" fallback.
+        """
+        if svm.coef_ is None:
+            raise BackendError("SVM must be fitted before pruning")
+        if max_features < 1:
+            raise BackendError("cannot prune below one feature")
+        swing = np.abs(svm.coef_).sum(axis=0) * np.asarray(train_x, float).std(axis=0)
+        keep = np.argsort(swing)[::-1][:max_features]
+        return sorted(int(i) for i in keep)
+
+    def compile_model(
+        self,
+        model,
+        feature_names: "tuple | None" = None,
+        scaler=None,
+        train_x: "np.ndarray | None" = None,
+        name: str = "pipeline",
+    ) -> CompiledPipeline:
+        if isinstance(model, LinearSVM):
+            if train_x is None:
+                raise BackendError(
+                    "SVM lowering needs train_x to derive feature bin ranges"
+                )
+            pipeline = lower_svm(model, train_x, scaler=scaler, name=name)
+            kind = "svm"
+            n_params = model.n_params
+        elif isinstance(model, KMeans):
+            pipeline = lower_kmeans(model, scaler=scaler, name=name)
+            kind = "kmeans"
+            n_params = model.n_params
+        elif isinstance(model, DecisionTreeClassifier):
+            pipeline = lower_tree(model, scaler=scaler, name=name)
+            kind = "decision_tree"
+            n_params = model.n_nodes
+        else:
+            raise BackendError(
+                f"Tofino backend cannot lower {type(model).__name__}; "
+                f"supported: {self.supported_algorithms}"
+            )
+        interpreter = MatInterpreter(pipeline)
+        capacity_problems = check_entry_capacity(pipeline, self.model)
+        if capacity_problems:
+            raise BackendError("; ".join(capacity_problems))
+        return CompiledPipeline(
+            backend=self.name,
+            model_kind=kind,
+            sources={f"{name}.p4": generate_p4(pipeline)},
+            resources=pipeline_resources(pipeline),
+            performance=pipeline_performance(pipeline),
+            executable=interpreter,
+            metadata={
+                "n_params": n_params,
+                "n_mats": pipeline.n_mats,
+                "total_entries": pipeline.total_entries,
+                "tables": [t.name for t in pipeline.tables],
+            },
+        )

@@ -1,0 +1,88 @@
+"""Behavioral match-action pipeline interpreter (the BMv2 stand-in).
+
+Executes a :class:`~repro.backends.tofino.mat.MatPipeline` on feature
+vectors exactly as the switch would: quantize features to integer match
+keys, walk the tables in order mutating metadata (score accumulators /
+distance registers / tree cursor), and let the decision table emit the
+class.  Used both as the deployed model's executable form and to verify
+that generated table programs agree with the trained model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.tofino.mat import (
+    KEY_FRACTION_BITS,
+    ClusterDistanceTable,
+    DecisionTable,
+    FeatureScoreTable,
+    MatPipeline,
+    TreeLevelTable,
+)
+from repro.errors import BackendError
+
+
+class MatInterpreter:
+    """Run a MAT pipeline over batches of raw feature rows."""
+
+    def __init__(self, pipeline: MatPipeline) -> None:
+        self.pipeline = pipeline
+
+    def _predict_one(self, feature_codes: np.ndarray) -> int:
+        scores: "np.ndarray | None" = None
+        distances: dict[int, int] = {}
+        node = 0
+        leaf_class = -1
+        for table in self.pipeline.match_tables:
+            if isinstance(table, FeatureScoreTable):
+                entry = table.lookup(int(feature_codes[table.feature_index]))
+                if entry is None:
+                    continue  # out-of-profile value: no contribution
+                if scores is None:
+                    scores = np.zeros(table.n_classes, dtype=np.int64)
+                scores += np.asarray(entry.data, dtype=np.int64)
+            elif isinstance(table, ClusterDistanceTable):
+                distances[table.cluster_index] = table.distance(feature_codes)
+            elif isinstance(table, TreeLevelTable):
+                if leaf_class >= 0:
+                    continue  # already decided at a shallower level
+                entry = table.lookup(node, feature_codes)
+                if entry is None:
+                    continue
+                if entry.leaf_class >= 0:
+                    leaf_class = entry.leaf_class
+                else:
+                    node = entry.next_node
+            else:
+                raise BackendError(f"unknown table type {type(table)!r}")
+
+        decision = self.pipeline.decision
+        if decision.kind == "argmax_score":
+            if scores is None:
+                scores = np.zeros(decision.n_classes, dtype=np.int64)
+            if decision.bias_codes is not None:
+                scores = scores + decision.bias_codes
+            return int(np.argmax(scores))
+        if decision.kind == "argmin_distance":
+            if not distances:
+                return 0
+            return min(distances, key=lambda k: (distances[k], k))
+        # leaf
+        return leaf_class if leaf_class >= 0 else 0
+
+    def predict(self, X) -> np.ndarray:
+        """Class ids (mapped through ``class_labels`` when present)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.pipeline.n_features:
+            raise BackendError(
+                f"pipeline expects {self.pipeline.n_features} features, got {X.shape[1]}"
+            )
+        codes = np.round(X * 2**KEY_FRACTION_BITS).astype(np.int64)
+        raw = np.array([self._predict_one(row) for row in codes], dtype=int)
+        labels = self.pipeline.class_labels
+        if labels is not None and self.pipeline.decision.kind != "leaf":
+            return np.asarray(labels)[raw]
+        return raw

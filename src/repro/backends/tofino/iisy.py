@@ -1,0 +1,243 @@
+"""IIsy-style lowering of classical models onto match-action tables.
+
+Standardization is *folded into the table constants* (weights, centroids,
+thresholds are re-expressed in the raw feature domain), so the switch
+matches directly on parsed header values — the same trick IIsy uses to
+avoid arithmetic before the first table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.tofino.mat import (
+    ClusterDistanceTable,
+    DecisionTable,
+    FeatureScoreTable,
+    MatPipeline,
+    RangeEntry,
+    TreeEntry,
+    TreeLevelTable,
+    encode_key,
+    encode_score,
+)
+from repro.errors import BackendError
+
+#: Range entries per feature table (the per-feature value quantization).
+DEFAULT_FEATURE_BINS = 64
+
+#: Sentinel half-open bounds for the first/last bin of every feature.
+KEY_MIN = -(2**30)
+KEY_MAX = 2**30
+
+
+def _feature_bin_edges(values: np.ndarray, bins: int) -> np.ndarray:
+    """Equal-width bin edges over the observed feature range (raw domain)."""
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    return np.linspace(lo, hi, bins + 1)
+
+
+def _unfold_scaler(scaler, n_features: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (mean, scale) or identity when no scaler was used."""
+    if scaler is None:
+        return np.zeros(n_features), np.ones(n_features)
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise BackendError("scaler must be fitted before lowering")
+    return np.asarray(scaler.mean_, float), np.asarray(scaler.scale_, float)
+
+
+def lower_svm(
+    svm,
+    train_x: np.ndarray,
+    scaler=None,
+    bins: int = DEFAULT_FEATURE_BINS,
+    name: str = "svm_pipeline",
+) -> MatPipeline:
+    """SVM -> one score table per feature + a vote table.
+
+    A binary SVM is treated as 2-class one-vs-rest (scores ``-m, +m``) so
+    the decision is a uniform argmax.  Per-feature tables hold ``bins``
+    range entries whose action data is the per-class partial score at the
+    bin midpoint; the intercepts ride in the decision table.
+    """
+    if svm.coef_ is None or svm.intercept_ is None:
+        raise BackendError("SVM must be fitted before lowering")
+    train_x = np.asarray(train_x, dtype=float)
+    n_features = train_x.shape[1]
+    if svm.coef_.shape[1] != n_features:
+        raise BackendError(
+            f"SVM trained on {svm.coef_.shape[1]} features, data has {n_features}"
+        )
+    mean, scale = _unfold_scaler(scaler, n_features)
+    # Fold standardization: score_c(x) = sum_f (w_cf / s_f) x_f
+    #                                   + (b_c - sum_f w_cf m_f / s_f).
+    folded_w = svm.coef_ / scale[None, :]
+    folded_b = svm.intercept_ - (svm.coef_ * (mean / scale)[None, :]).sum(axis=1)
+    if svm.classes_.size == 2:
+        # one signed score -> symmetric two-class scores.
+        folded_w = np.vstack([-folded_w[0], folded_w[0]])
+        folded_b = np.array([-folded_b[0], folded_b[0]])
+    n_classes = folded_w.shape[0]
+
+    tables: list = []
+    for f in range(n_features):
+        edges = _feature_bin_edges(train_x[:, f], bins)
+        entries = []
+        for b in range(bins):
+            lo_edge = KEY_MIN if b == 0 else encode_key(edges[b])
+            hi_edge = KEY_MAX if b == bins - 1 else encode_key(edges[b + 1])
+            if hi_edge <= lo_edge:
+                continue  # degenerate bin collapsed by key quantization
+            mid = (edges[b] + edges[b + 1]) / 2.0
+            scores = tuple(encode_score(folded_w[c, f] * mid) for c in range(n_classes))
+            entries.append(RangeEntry(lo=lo_edge, hi=hi_edge, data=scores))
+        tables.append(
+            FeatureScoreTable(name=f"svm_feature_{f}", feature_index=f, entries=entries)
+        )
+    tables.append(
+        DecisionTable(
+            name="svm_vote",
+            kind="argmax_score",
+            n_classes=n_classes,
+            bias_codes=np.array([encode_score(b) for b in folded_b], dtype=np.int64),
+        )
+    )
+    labels = svm.classes_ if svm.classes_.size > 2 else np.asarray(svm.classes_)
+    return MatPipeline(
+        name=name, n_features=n_features, tables=tables, class_labels=labels
+    )
+
+
+def lower_kmeans(
+    kmeans,
+    scaler=None,
+    name: str = "kmeans_pipeline",
+) -> MatPipeline:
+    """KMeans -> one distance table per cluster (paper's Figure-7 accounting).
+
+    Standardized distance ``sum_f ((x_f - m_f)/s_f - c_f)^2`` folds into the
+    raw domain as ``sum_f w_f (x_f - c'_f)^2`` with ``c'_f = m_f + s_f c_f``
+    and ``w_f = 1/s_f^2``.
+    """
+    if kmeans.cluster_centers_ is None:
+        raise BackendError("KMeans must be fitted before lowering")
+    centers = np.asarray(kmeans.cluster_centers_, dtype=float)
+    n_clusters, n_features = centers.shape
+    mean, scale = _unfold_scaler(scaler, n_features)
+    raw_centers = mean[None, :] + scale[None, :] * centers
+    weights = 1.0 / (scale**2)
+    mants = np.empty(n_features, dtype=np.int64)
+    shifts = np.empty(n_features, dtype=np.int64)
+    for f, w in enumerate(weights):
+        exponent = int(np.floor(np.log2(w)))
+        mant = int(round(w * 2.0 ** (15 - exponent)))
+        if mant == 2**16:
+            mant //= 2
+            exponent += 1
+        mants[f] = mant
+        shifts[f] = 15 - exponent
+    tables: list = []
+    for k in range(n_clusters):
+        tables.append(
+            ClusterDistanceTable(
+                name=f"kmeans_cluster_{k}",
+                cluster_index=k,
+                centroid_codes=np.array(
+                    [encode_key(v) for v in raw_centers[k]], dtype=np.int64
+                ),
+                weight_mants=mants.copy(),
+                weight_shifts=shifts.copy(),
+            )
+        )
+    tables.append(
+        DecisionTable(name="kmeans_select", kind="argmin_distance", n_classes=n_clusters)
+    )
+    return MatPipeline(name=name, n_features=n_features, tables=tables)
+
+
+def lower_tree(
+    tree,
+    scaler=None,
+    name: str = "tree_pipeline",
+) -> MatPipeline:
+    """Decision tree -> one table per level (exact semantics).
+
+    Every internal node at level L contributes two range entries to table
+    L (its <=/> branches); leaves emit the class directly.  Thresholds are
+    unfolded to the raw feature domain, so matching is exact up to key
+    quantization.
+    """
+    if tree.root is None:
+        raise BackendError("tree must be fitted before lowering")
+    mean, scale = _unfold_scaler(scaler, tree.n_features_)
+
+    # Assign node ids level by level (BFS) and emit entries.
+    levels: list[list] = []
+    frontier = [(tree.root, 0)]
+    while frontier:
+        entries: list[TreeEntry] = []
+        next_frontier = []
+        next_id = 0
+        for node, node_id in frontier:
+            if node.is_leaf:
+                # A leaf reached early re-emits itself until the last level:
+                # represent as a full-range entry carrying the class.
+                cls = int(np.argmax(node.value))
+                entries.append(
+                    TreeEntry(
+                        node=node_id,
+                        feature_index=0,
+                        lo=KEY_MIN,
+                        hi=KEY_MAX,
+                        leaf_class=int(tree.classes_[cls]),
+                    )
+                )
+                continue
+            raw_threshold = node.threshold * scale[node.feature] + mean[node.feature]
+            split_key = encode_key(raw_threshold)
+            for branch, lo, hi in (
+                (node.left, KEY_MIN, split_key + 1),
+                (node.right, split_key + 1, KEY_MAX),
+            ):
+                if branch.is_leaf:
+                    cls = int(np.argmax(branch.value))
+                    entries.append(
+                        TreeEntry(
+                            node=node_id,
+                            feature_index=node.feature,
+                            lo=lo,
+                            hi=hi,
+                            leaf_class=int(tree.classes_[cls]),
+                        )
+                    )
+                else:
+                    entries.append(
+                        TreeEntry(
+                            node=node_id,
+                            feature_index=node.feature,
+                            lo=lo,
+                            hi=hi,
+                            next_node=next_id,
+                        )
+                    )
+                    next_frontier.append((branch, next_id))
+                    next_id += 1
+        levels.append(entries)
+        frontier = next_frontier
+
+    tables: list = [
+        TreeLevelTable(name=f"tree_level_{i}", level=i, entries=entries)
+        for i, entries in enumerate(levels)
+        if entries
+    ]
+    n_classes = int(len(tree.classes_))
+    tables.append(DecisionTable(name="tree_leaf", kind="leaf", n_classes=n_classes))
+    return MatPipeline(
+        name=name,
+        n_features=tree.n_features_,
+        tables=tables,
+        class_labels=np.asarray(tree.classes_),
+    )

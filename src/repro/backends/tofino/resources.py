@@ -1,0 +1,72 @@
+"""MAT budget and timing model for Tofino-class switches.
+
+IIsy's published numbers anchor the budget: an SVM consuming 8 MATs is
+"25% of switch tables" (§2), so a pipeline exposes 32 logical tables.
+Timing: a fixed parse/deparse overhead plus one stage traversal per table;
+MAT pipelines are feed-forward, so a program that fits always runs at line
+rate (1 Gpkt/s per pipe, the paper's constraint unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import PerformanceEstimate, ResourceUsage
+from repro.backends.tofino.mat import MatPipeline
+from repro.errors import BackendError
+
+#: Logical MATs available to the ML pipeline (8 MATs == 25% -> 32 total).
+DEFAULT_MAX_MATS = 32
+
+#: TCAM/SRAM entries available per table.
+DEFAULT_MAX_ENTRIES_PER_TABLE = 4096
+
+#: Line rate of one Tofino pipe in Gpkt/s.
+LINE_RATE_GPPS = 1.0
+
+#: Fixed parser + deparser latency (ns) and per-stage traversal cost (ns).
+BASE_LATENCY_NS = 100.0
+PER_MAT_NS = 25.0
+
+
+@dataclass(frozen=True)
+class TofinoModel:
+    """Capacity description of one MAT pipeline."""
+
+    max_mats: int = DEFAULT_MAX_MATS
+    max_entries_per_table: int = DEFAULT_MAX_ENTRIES_PER_TABLE
+
+    def __post_init__(self) -> None:
+        if self.max_mats < 1 or self.max_entries_per_table < 1:
+            raise BackendError("Tofino capacities must be positive")
+
+    def limits(self) -> dict:
+        return {"mats": self.max_mats}
+
+
+def pipeline_resources(pipeline: MatPipeline) -> ResourceUsage:
+    """MAT and entry counts under the paper's accounting."""
+    return ResourceUsage(
+        {
+            "mats": pipeline.n_mats,
+            "entries": pipeline.total_entries,
+        }
+    )
+
+
+def pipeline_performance(pipeline: MatPipeline) -> PerformanceEstimate:
+    """Line-rate throughput; latency grows with traversed tables."""
+    latency = BASE_LATENCY_NS + PER_MAT_NS * pipeline.n_mats
+    return PerformanceEstimate(throughput_gpps=LINE_RATE_GPPS, latency_ns=latency)
+
+
+def check_entry_capacity(pipeline: MatPipeline, model: TofinoModel) -> list:
+    """Per-table entry-capacity violations (empty = fits)."""
+    problems = []
+    for table in pipeline.tables:
+        if table.n_entries > model.max_entries_per_table:
+            problems.append(
+                f"table {table.name}: {table.n_entries} entries "
+                f"> {model.max_entries_per_table}"
+            )
+    return problems

@@ -1,0 +1,50 @@
+"""Constrained Bayesian optimization (the HyperMapper substitute).
+
+The paper formulates design-space exploration as constrained black-box
+optimization and configures HyperMapper with a random-forest surrogate,
+Expected Improvement, and a uniform random initialization phase (§5).  This
+package implements that stack from scratch:
+
+* :mod:`repro.bayesopt.space` — typed parameters and the design space,
+* :mod:`repro.bayesopt.surrogate` — random-forest and Gaussian-process
+  surrogate models,
+* :mod:`repro.bayesopt.acquisition` — EI, UCB, probability of feasibility,
+* :mod:`repro.bayesopt.optimizer` — the optimization loop,
+* :mod:`repro.bayesopt.results` — evaluation history and regret curves.
+"""
+
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    probability_of_feasibility,
+    upper_confidence_bound,
+)
+from repro.bayesopt.optimizer import BayesianOptimizer, RandomSearchOptimizer
+from repro.bayesopt.results import Evaluation, OptimizationResult
+from repro.bayesopt.space import (
+    Categorical,
+    DesignSpace,
+    Integer,
+    Ordinal,
+    Real,
+)
+from repro.bayesopt.surrogate import (
+    GaussianProcessSurrogate,
+    RandomForestSurrogate,
+)
+
+__all__ = [
+    "Real",
+    "Integer",
+    "Ordinal",
+    "Categorical",
+    "DesignSpace",
+    "RandomForestSurrogate",
+    "GaussianProcessSurrogate",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "probability_of_feasibility",
+    "BayesianOptimizer",
+    "RandomSearchOptimizer",
+    "Evaluation",
+    "OptimizationResult",
+]

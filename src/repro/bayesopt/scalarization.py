@@ -1,0 +1,86 @@
+"""Multi-objective support via random scalarizations.
+
+HyperMapper handles multi-objective problems by optimizing random convex
+combinations of the objectives (Paria et al. 2019, cited by the paper).
+Homunculus's headline experiments are single-objective (F1 under
+feasibility constraints), but Alchemy lets users list several optimization
+metrics, so this module provides the scalarization machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DesignSpaceError
+from repro.rng import as_generator
+
+
+class RandomScalarizer:
+    """Draw random convex weights over ``objective_names`` and combine values.
+
+    Each call to :meth:`resample` draws a fresh weight vector from a flat
+    Dirichlet; :meth:`combine` maps a dict of objective values to a scalar.
+    Objectives to be minimized can be listed in ``minimize`` — their values
+    are negated before weighting so the combined scalar is maximized.
+    """
+
+    def __init__(
+        self,
+        objective_names: list[str],
+        minimize: "list[str] | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not objective_names:
+            raise DesignSpaceError("need at least one objective name")
+        if len(set(objective_names)) != len(objective_names):
+            raise DesignSpaceError(f"duplicate objective names: {objective_names}")
+        minimize = minimize or []
+        unknown = set(minimize) - set(objective_names)
+        if unknown:
+            raise DesignSpaceError(f"minimize lists unknown objectives: {sorted(unknown)}")
+        self.objective_names = list(objective_names)
+        self.minimize = set(minimize)
+        self._rng = as_generator(seed)
+        self.weights = np.full(len(objective_names), 1.0 / len(objective_names))
+
+    def resample(self) -> np.ndarray:
+        """Draw a fresh Dirichlet(1) weight vector and return it."""
+        self.weights = self._rng.dirichlet(np.ones(len(self.objective_names)))
+        return self.weights
+
+    def combine(self, values: dict) -> float:
+        """Weighted sum of objective values (sign-flipped for minimized ones)."""
+        missing = set(self.objective_names) - set(values)
+        if missing:
+            raise DesignSpaceError(f"missing objective values: {sorted(missing)}")
+        total = 0.0
+        for weight, name in zip(self.weights, self.objective_names):
+            v = float(values[name])
+            if name in self.minimize:
+                v = -v
+            total += weight * v
+        return total
+
+
+def pareto_front(points: list[dict], objective_names: list[str]) -> list[int]:
+    """Indices of the Pareto-optimal points (all objectives maximized).
+
+    Used by reporting code to show the trade-off surface (e.g. F1 vs
+    resource usage) after a multi-objective run.
+    """
+    if not points:
+        return []
+    values = np.array(
+        [[float(p[name]) for name in objective_names] for p in points]
+    )
+    n = values.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if dominated[i]:
+            continue
+        dominates_i = np.all(values >= values[i], axis=1) & np.any(
+            values > values[i], axis=1
+        )
+        if dominates_i.any():
+            dominated[i] = True
+    return [i for i in range(n) if not dominated[i]]

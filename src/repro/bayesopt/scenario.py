@@ -1,0 +1,79 @@
+"""HyperMapper-style scenario files.
+
+HyperMapper is driven by a JSON scenario: the application name, the
+optimization objective, the budget (``optimization_iterations``), the
+random-initialization size (``design_of_experiment``), and the input
+parameters.  Homunculus "forms a JSON configuration file describing
+searchable parameters ... fed to HyperMapper to start the optimization
+process" (§4).  This module writes/reads that interchange format and
+builds a configured optimizer from it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.bayesopt.space import DesignSpace
+from repro.errors import DesignSpaceError
+
+
+def scenario_to_json(
+    name: str,
+    space: DesignSpace,
+    budget: int = 20,
+    warmup: int = 5,
+    metric: str = "f1",
+    seed: int = 0,
+) -> str:
+    """Serialize a complete optimization scenario."""
+    if budget < 1 or warmup < 1:
+        raise DesignSpaceError("budget and warmup must be >= 1")
+    doc = {
+        "application_name": name,
+        "optimization_objectives": [metric],
+        "optimization_iterations": int(budget),
+        "design_of_experiment": {
+            "doe_type": "random sampling",
+            "number_of_samples": int(warmup),
+        },
+        "models": {"model": "random_forest"},
+        "seed": int(seed),
+        "input_parameters": json.loads(space.to_json())["input_parameters"],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def scenario_from_json(text: str) -> dict:
+    """Parse a scenario; returns a dict with ``space`` and optimizer knobs."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DesignSpaceError(f"malformed scenario JSON: {exc}") from exc
+    for key in ("application_name", "optimization_iterations", "input_parameters"):
+        if key not in doc:
+            raise DesignSpaceError(f"scenario missing required key {key!r}")
+    space = DesignSpace.from_json(
+        json.dumps({"input_parameters": doc["input_parameters"]})
+    )
+    doe = doc.get("design_of_experiment", {})
+    return {
+        "name": doc["application_name"],
+        "space": space,
+        "budget": int(doc["optimization_iterations"]),
+        "warmup": int(doe.get("number_of_samples", 5)),
+        "metric": (doc.get("optimization_objectives") or ["f1"])[0],
+        "seed": int(doc.get("seed", 0)),
+    }
+
+
+def optimizer_from_scenario(text: str, objective_fn) -> tuple:
+    """Build ``(BayesianOptimizer, budget)`` from a scenario document."""
+    scenario = scenario_from_json(text)
+    optimizer = BayesianOptimizer(
+        scenario["space"],
+        objective_fn,
+        warmup=scenario["warmup"],
+        seed=scenario["seed"],
+    )
+    return optimizer, scenario["budget"]

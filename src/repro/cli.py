@@ -1,0 +1,109 @@
+"""Command-line compiler: ``python -m repro.cli``.
+
+Compiles one of the built-in applications for a chosen target and writes
+the deployment bundle::
+
+    python -m repro.cli --app ad --target taurus --budget 20 --out build/
+    python -m repro.cli --app tc --target tofino --algorithm decision_tree
+
+Custom datasets come in as CSV pairs (the Figure-3 file format)::
+
+    python -m repro.cli --train my_train.csv --test my_test.csv --name myapp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.core.export import export_report
+from repro.datasets import load_botnet, load_csv_dataset, load_iot, load_nslkdd
+
+_APPS = {
+    "ad": ("anomaly_detection", lambda seed: load_nslkdd(seed=seed + 7)),
+    "tc": ("traffic_classification", lambda seed: load_iot(seed=seed + 11)),
+    "bd": ("botnet_detection", lambda seed: load_botnet(seed=seed + 13)),
+}
+
+_PLATFORMS = {
+    "taurus": Platforms.Taurus,
+    "tofino": Platforms.Tofino,
+    "fpga": Platforms.FPGA,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Homunculus: compile a data-plane ML pipeline."
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--app", choices=sorted(_APPS), help="built-in application")
+    source.add_argument("--train", help="training CSV (with --test)")
+    parser.add_argument("--test", help="test CSV (with --train)")
+    parser.add_argument("--name", default="pipeline", help="model name for CSV input")
+    parser.add_argument("--target", default="taurus", choices=sorted(_PLATFORMS))
+    parser.add_argument(
+        "--algorithm", action="append", default=None,
+        help="candidate algorithm (repeatable; default: let Homunculus choose)",
+    )
+    parser.add_argument("--metric", default="f1",
+                        choices=["f1", "accuracy", "v_measure"])
+    parser.add_argument("--budget", type=int, default=20)
+    parser.add_argument("--throughput", type=float, default=None,
+                        help="minimum Gpkt/s")
+    parser.add_argument("--latency", type=float, default=None, help="max ns")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="deployment bundle directory")
+    return parser
+
+
+def main(argv: "list | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.train and not args.test:
+        print("error: --train requires --test", file=sys.stderr)
+        return 2
+
+    if args.app:
+        name, loader_fn = _APPS[args.app]
+        dataset = loader_fn(args.seed)
+    else:
+        name = args.name
+        dataset = load_csv_dataset(args.train, args.test, name=name)
+
+    @DataLoader
+    def loader():
+        return dataset
+
+    spec = Model(
+        {
+            "optimization_metric": [args.metric],
+            "algorithm": args.algorithm or [],
+            "name": name,
+            "data_loader": loader,
+        }
+    )
+    platform = _PLATFORMS[args.target]()
+    performance = {}
+    if args.throughput is not None:
+        performance["throughput"] = args.throughput
+    if args.latency is not None:
+        performance["latency"] = args.latency
+    if performance:
+        platform.constrain(performance=performance)
+    platform.schedule(spec)
+
+    report = repro.generate(platform, budget=args.budget, seed=args.seed)
+    print(report.summary())
+    best = report.best
+    if best is not None:
+        print(f"config: {best.best_config}")
+    if args.out:
+        path = export_report(report, args.out)
+        print(f"deployment bundle written to {path}")
+    return 0 if report.feasible else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""The Homunculus optimization core and compiler driver (§3.2–3.3).
+
+Pipeline: candidate-algorithm selection → design-space creation →
+BO-guided exploration (train, lower, feasibility-check each candidate) →
+final model selection and code generation.
+"""
+
+from repro.core.compiler import CompileReport, generate
+from repro.core.fusion import fuse_datasets
+
+__all__ = ["generate", "CompileReport", "fuse_datasets"]

@@ -1,0 +1,88 @@
+"""Candidate-algorithm selection (§3.2.1).
+
+Before any training happens the core rules out algorithm families that
+cannot possibly satisfy the platform: unsupported lowering, a *minimum*
+resource footprint that already exceeds the budget, or an objective
+mismatch (clustering algorithms cannot optimize supervised F1).
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.model import SUPPORTED_ALGORITHMS, Model
+from repro.backends.taurus.resources import estimate_dnn_resources
+from repro.datasets.base import Dataset
+from repro.errors import InfeasibleError
+
+#: Algorithms whose objective is a clustering metric.
+_UNSUPERVISED = ("kmeans",)
+
+
+def minimum_footprint_fits(
+    algorithm: str, dataset: Dataset, backend, limits: dict
+) -> bool:
+    """Can the *smallest possible* model of this family fit the budget?"""
+    n_features = dataset.n_features
+    n_classes = dataset.n_classes
+    if backend.name in ("taurus", "fpga"):
+        if algorithm in ("dnn", "bnn"):
+            # bnn uses the dnn estimate: conservative (binary is cheaper).
+            out = 1 if n_classes == 2 else n_classes
+            usage, _ = estimate_dnn_resources([n_features, 2, out])
+        elif algorithm == "svm":
+            out = 1 if n_classes == 2 else n_classes
+            usage, _ = estimate_dnn_resources(
+                [n_features, out], hidden_nonlinear=False
+            )
+        else:
+            return False
+        if backend.name == "fpga":
+            return True  # percentage budgets; tiny models always fit
+        return usage.within(limits)
+    if backend.name == "tofino":
+        mats_limit = limits.get("mats")
+        if mats_limit is None:
+            return True
+        if algorithm == "svm":
+            return mats_limit >= 2  # one pruned feature + the vote table
+        if algorithm == "kmeans":
+            return mats_limit >= 1
+        if algorithm == "decision_tree":
+            return mats_limit >= 2  # a depth-1 stump + leaf decision
+        return False
+    return True
+
+
+def select_candidates(
+    model_spec: Model, dataset: Dataset, backend, limits: dict
+) -> list:
+    """Ordered list of algorithm families worth exploring.
+
+    Raises :class:`InfeasibleError` when nothing survives — the paper's
+    "no feasible solution exists" outcome, reported before burning any
+    training budget.
+    """
+    requested = model_spec.algorithms or SUPPORTED_ALGORITHMS
+    survivors = []
+    rejected: list = []
+    for algorithm in requested:
+        if not backend.supports(algorithm):
+            rejected.append(f"{algorithm}: not lowerable to {backend.name}")
+            continue
+        metric = model_spec.primary_metric
+        if algorithm in _UNSUPERVISED and metric != "v_measure":
+            rejected.append(f"{algorithm}: cannot optimize supervised metric {metric}")
+            continue
+        if algorithm not in _UNSUPERVISED and metric == "v_measure":
+            rejected.append(f"{algorithm}: v_measure applies to clustering only")
+            continue
+        if not minimum_footprint_fits(algorithm, dataset, backend, limits):
+            rejected.append(f"{algorithm}: minimum footprint exceeds resources")
+            continue
+        survivors.append(algorithm)
+    if not survivors:
+        detail = "; ".join(rejected) if rejected else "no algorithms requested"
+        raise InfeasibleError(
+            f"no candidate algorithm for model {model_spec.name!r} "
+            f"on {backend.name}: {detail}"
+        )
+    return survivors

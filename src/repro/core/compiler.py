@@ -1,0 +1,204 @@
+"""The compiler driver: ``repro.generate(platform)``.
+
+Implements the paper's Figure-2 flow per scheduled model:
+
+1. candidate models selection (prefilter algorithm families),
+2. automated design-space creation,
+3. parallel candidate runs — one constrained-BO loop per family,
+4. final model selection & code generation (re-train the incumbent and
+   emit backend sources),
+
+then composes the schedule: per-model resources are summed over distinct
+models (shared pipelines placed once), and the composed pipeline must fit
+the device and satisfy the throughput-consistency rule of §3.2.1.
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.platforms import PlatformSpec
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.core.candidates import select_candidates
+from repro.core.designspace_builder import build_design_space
+from repro.core.evaluator import ModelEvaluator
+from repro.core.fusion import fuse_datasets, should_fuse
+from repro.core.reports import CompileReport, ModelReport
+from repro.errors import InfeasibleError, SpecificationError
+from repro.rng import derive
+
+__all__ = ["generate", "CompileReport"]
+
+
+def _search_one_model(
+    model_spec,
+    dataset,
+    backend,
+    constraints: dict,
+    budget: int,
+    warmup: int,
+    train_epochs: int,
+    seed: int,
+) -> ModelReport:
+    """Run candidate selection + BO for one model; build its final report."""
+    limits = constraints.get("resources", {})
+    candidates = select_candidates(model_spec, dataset, backend, limits)
+    candidate_results: dict = {}
+    best_algorithm = None
+    best_evaluator = None
+    best_eval = None
+    for index, algorithm in enumerate(candidates):
+        space = build_design_space(algorithm, dataset, backend, limits)
+        evaluator = ModelEvaluator(
+            model_spec,
+            dataset,
+            algorithm,
+            backend,
+            constraints,
+            seed=seed,
+            train_epochs=train_epochs,
+        )
+        optimizer = BayesianOptimizer(
+            space,
+            evaluator.evaluate,
+            warmup=min(warmup, budget),
+            seed=derive(seed, 1000 + index),
+        )
+        result = optimizer.run(budget)
+        candidate_results[algorithm] = result
+        incumbent = result.best
+        if incumbent is not None and (
+            best_eval is None or incumbent.objective > best_eval.objective
+        ):
+            best_algorithm = algorithm
+            best_evaluator = evaluator
+            best_eval = incumbent
+    if best_eval is None:
+        raise InfeasibleError(
+            f"no feasible configuration found for model {model_spec.name!r} "
+            f"within budget {budget} (candidates: {candidates})"
+        )
+    # Final model selection & code generation: deterministically rebuild
+    # the incumbent and emit its backend sources.
+    _, pipeline, float_pred = best_evaluator.rebuild(best_eval.config)
+    return ModelReport(
+        name=model_spec.name,
+        algorithm=best_algorithm,
+        best_config=dict(best_eval.config),
+        objective=best_eval.objective,
+        float_objective=best_eval.metrics.get("float_objective", best_eval.objective),
+        metric=model_spec.primary_metric,
+        feasible=True,
+        resources=dict(pipeline.resources.usage),
+        performance=pipeline.performance,
+        n_params=int(pipeline.metadata.get("n_params", 0)),
+        sources=dict(pipeline.sources),
+        metadata=dict(pipeline.metadata),
+        optimization=candidate_results[best_algorithm],
+        candidate_results=candidate_results,
+    )
+
+
+def _apply_fusion(models: list, fuse: bool) -> list:
+    """Optionally fuse dataset-compatible models into one (§3.2.5).
+
+    Returns ``[(model_spec, dataset)]`` pairs; fused entries reuse the
+    first spec's objectives and a merged dataset.
+    """
+    pairs = [(m, m.load_dataset()) for m in models]
+    if not fuse or len(pairs) < 2:
+        return pairs
+    fused: list = []
+    consumed = [False] * len(pairs)
+    for i in range(len(pairs)):
+        if consumed[i]:
+            continue
+        spec_i, ds_i = pairs[i]
+        for j in range(i + 1, len(pairs)):
+            if consumed[j]:
+                continue
+            spec_j, ds_j = pairs[j]
+            if (
+                spec_i.primary_metric == spec_j.primary_metric
+                and should_fuse(ds_i, ds_j)
+            ):
+                ds_i = fuse_datasets(ds_i, ds_j, name=f"{spec_i.name}+{spec_j.name}")
+                consumed[j] = True
+        fused.append((spec_i, ds_i))
+        consumed[i] = True
+    return fused
+
+
+def _sum_resources(reports: list) -> dict:
+    total: dict = {}
+    for report in reports:
+        for key, value in report.resources.items():
+            total[key] = total.get(key, 0) + value
+    return {k: round(v, 4) for k, v in total.items()}
+
+
+def generate(
+    platform: PlatformSpec,
+    budget: int = 20,
+    warmup: int = 5,
+    train_epochs: int = 30,
+    seed: int = 0,
+    fuse: bool = False,
+) -> CompileReport:
+    """Compile every model scheduled on ``platform`` (the paper's
+    ``homunculus.generate``).
+
+    Parameters
+    ----------
+    budget / warmup:
+        BO evaluations per candidate algorithm family, and how many of
+        them are uniform random warmup.
+    train_epochs:
+        epochs per DNN candidate training run.
+    seed:
+        global determinism root; every training/search RNG derives from it.
+    fuse:
+        attempt model fusion across scheduled models with shared features.
+    """
+    if not isinstance(platform, PlatformSpec):
+        raise SpecificationError("generate() expects a PlatformSpec")
+    if platform.schedule_root is None:
+        raise SpecificationError("no models scheduled; call platform.schedule(...)")
+    if budget < 1:
+        raise SpecificationError(f"budget must be >= 1, got {budget}")
+    backend = platform.backend()
+    constraints = platform.constraints()
+    pairs = _apply_fusion(platform.models(), fuse)
+
+    reports: dict = {}
+    for index, (model_spec, dataset) in enumerate(pairs):
+        reports[model_spec.name] = _search_one_model(
+            model_spec,
+            dataset,
+            backend,
+            constraints,
+            budget=budget,
+            warmup=warmup,
+            train_epochs=train_epochs,
+            seed=int(derive(seed, index).integers(0, 2**31)),
+        )
+
+    total = _sum_resources(list(reports.values()))
+    limits = constraints.get("resources", {})
+    fits = all(
+        total.get(name, 0) <= limit for name, limit in limits.items()
+    )
+    # Throughput consistency across the composed schedule (§3.2.1).
+    per_model = {
+        name: report.performance.throughput_gpps for name, report in reports.items()
+    }
+    composed = platform.schedule_root.effective_throughput(per_model)
+    min_tput = constraints.get("performance", {}).get("throughput")
+    tput_ok = composed is None or min_tput is None or composed >= min_tput
+    return CompileReport(
+        target=platform.target,
+        constraints=constraints,
+        schedule=platform.schedule_root.describe(),
+        models=reports,
+        total_resources=total,
+        feasible=bool(fits and tput_ok and all(r.feasible for r in reports.values())),
+        seed=seed,
+    )

@@ -1,0 +1,110 @@
+"""Automated design-space creation (§3.2.2).
+
+Bounds are "typically calculated based on the target being considered":
+the Taurus CU budget caps DNN layer widths, the MAT budget caps cluster
+counts and tree depths.  Each algorithm family gets its own typed space.
+"""
+
+from __future__ import annotations
+
+from repro.backends.taurus.resources import CU_MACS
+from repro.bayesopt.space import Categorical, DesignSpace, Integer, Ordinal, Real
+from repro.datasets.base import Dataset
+from repro.errors import DesignSpaceError
+
+#: Absolute caps independent of any platform.
+MAX_HIDDEN_LAYERS = 10
+MAX_WIDTH = 48
+MAX_CLUSTERS = 12
+MAX_TREE_DEPTH = 10
+
+
+def dnn_width_bound(n_features: int, cu_limit: "int | None") -> int:
+    """Maximum hidden width the CU budget plausibly supports.
+
+    A width-w stack's dominant layer costs about ``in*w / CU_MACS`` CUs;
+    budgeting a third of the grid for it keeps room for the other layers.
+    """
+    if cu_limit is None:
+        return MAX_WIDTH
+    bound = int(cu_limit * CU_MACS // (3 * max(n_features, 1)))
+    return max(4, min(MAX_WIDTH, bound))
+
+
+def build_design_space(
+    algorithm: str, dataset: Dataset, backend, limits: dict
+) -> DesignSpace:
+    """The tunable-parameter space for one (algorithm, platform) pair."""
+    n_features = dataset.n_features
+    if algorithm == "dnn":
+        width_hi = dnn_width_bound(n_features, limits.get("cus"))
+        return DesignSpace(
+            [
+                Integer("n_layers", 1, MAX_HIDDEN_LAYERS),
+                Integer("width", 2, width_hi),
+                Real("taper", 0.5, 1.25),
+                Real("lr_log10", -3.0, -0.7),
+                Ordinal("batch_size", (16, 32, 64)),
+                Categorical("optimizer", ("adam", "momentum")),
+            ]
+        )
+    if algorithm == "bnn":
+        # Binary layers are ~8x cheaper per MAC, so widths range higher.
+        width_hi = min(96, 8 * dnn_width_bound(n_features, limits.get("cus")))
+        return DesignSpace(
+            [
+                Integer("n_layers", 1, 4),
+                Integer("width", 4, width_hi),
+                Real("taper", 0.5, 1.25),
+                Real("lr_log10", -2.5, -0.5),
+                Ordinal("batch_size", (16, 32, 64)),
+            ]
+        )
+    if algorithm == "svm":
+        return DesignSpace(
+            [
+                Real("c_log10", -2.0, 2.0),
+                Real("lr_log10", -2.0, -0.3),
+                Ordinal("epochs", (20, 40, 60)),
+            ]
+        )
+    if algorithm == "kmeans":
+        k_hi = MAX_CLUSTERS
+        mats = limits.get("mats")
+        if mats is not None:
+            k_hi = min(k_hi, int(mats))
+        k_hi = min(k_hi, max(1, dataset.n_train // 2))
+        return DesignSpace(
+            [
+                Integer("n_clusters", 1, k_hi),
+                Ordinal("n_init", (2, 4, 8)),
+            ]
+        )
+    if algorithm == "decision_tree":
+        depth_hi = MAX_TREE_DEPTH
+        mats = limits.get("mats")
+        if mats is not None:
+            # one MAT per level plus the leaf decision table.
+            depth_hi = min(depth_hi, max(1, int(mats) - 1))
+        return DesignSpace(
+            [
+                Integer("max_depth", 1, depth_hi),
+                Integer("min_samples_leaf", 1, 8),
+            ]
+        )
+    raise DesignSpaceError(f"no design space for algorithm {algorithm!r}")
+
+
+def dnn_topology(config: dict, n_features: int, n_outputs: int) -> list:
+    """Materialize ``[in, h1, ..., out]`` from a DNN configuration.
+
+    Hidden widths taper geometrically: ``h_i = max(2, round(width *
+    taper^i))`` — taper < 1 narrows with depth (funnel), > 1 widens.
+    """
+    dims = [n_features]
+    width = float(config["width"])
+    taper = float(config["taper"])
+    for i in range(int(config["n_layers"])):
+        dims.append(max(2, int(round(width * taper**i))))
+    dims.append(n_outputs)
+    return dims

@@ -1,0 +1,225 @@
+"""The black-box evaluator (§3.2.3–3.2.4).
+
+One call = one candidate configuration: build the model, train it (the
+Keras role), lower it through the backend (codegen), score the
+*hardware-accurate* pipeline on the test split, and check the feasibility
+constraints.  Returns an :class:`~repro.bayesopt.results.Evaluation` whose
+``objective`` is the paper's optimization metric and whose ``feasible``
+flag encodes the resource/performance verdicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alchemy.model import Model
+from repro.backends.base import CompiledPipeline
+from repro.bayesopt.results import Evaluation
+from repro.core.designspace_builder import dnn_topology
+from repro.datasets.base import Dataset
+from repro.errors import HomunculusError, TrainingError
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import accuracy_score, f1_score, v_measure_score
+from repro.ml.network import NeuralNetwork
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+from repro.rng import derive
+
+
+def _config_salt(config: dict) -> int:
+    """A stable salt derived from a configuration's contents.
+
+    Uses md5 rather than ``hash()`` — Python randomizes string hashes per
+    process, which would break cross-process reproducibility of searches.
+    """
+    text = "|".join(f"{k}={config[k]!r}" for k in sorted(config))
+    import hashlib
+
+    return int(hashlib.md5(text.encode()).hexdigest()[:8], 16) & 0x7FFFFFFF
+
+
+class ModelEvaluator:
+    """Evaluate candidate configurations of one algorithm family."""
+
+    def __init__(
+        self,
+        model_spec: Model,
+        dataset: Dataset,
+        algorithm: str,
+        backend,
+        constraints: dict,
+        seed: int = 0,
+        train_epochs: int = 30,
+    ) -> None:
+        self.model_spec = model_spec
+        self.dataset = self._fit_to_backend(dataset, algorithm, backend, constraints)
+        self.algorithm = algorithm
+        self.backend = backend
+        self.constraints = constraints
+        self.seed = int(seed)
+        self.train_epochs = int(train_epochs)
+        self.scaler = StandardScaler().fit(self.dataset.train_x)
+        self._train_scaled = self.scaler.transform(self.dataset.train_x)
+        self._test_scaled = self.scaler.transform(self.dataset.test_x)
+        self.n_classes = self.dataset.n_classes
+        self._onehot = (
+            OneHotEncoder(self.n_classes) if self.n_classes > 2 else None
+        )
+
+    @staticmethod
+    def _fit_to_backend(dataset: Dataset, algorithm: str, backend, constraints) -> Dataset:
+        """Pre-shrink the feature set when the platform cannot hold it.
+
+        The paper's IIsy fallback: an SVM uses one MAT per feature, so when
+        fewer MATs are available Homunculus "removes less impactful
+        features until the SVM model fits" (§4).  Impact is estimated with
+        a quick probe SVM on the full feature set.
+        """
+        if backend.name != "tofino" or algorithm != "svm":
+            return dataset
+        mats = constraints.get("resources", {}).get("mats")
+        if mats is None or dataset.n_features + 1 <= mats:
+            return dataset
+        keep = max(1, int(mats) - 1)  # one MAT per kept feature + the vote
+        probe_scaler = StandardScaler().fit(dataset.train_x)
+        probe = LinearSVM(seed=0, epochs=10).fit(
+            probe_scaler.transform(dataset.train_x), dataset.train_y
+        )
+        indices = backend.prune_svm_features(probe, dataset.train_x, keep)
+        return dataset.subset_features(indices)
+
+    # ------------------------------------------------------------------ #
+    def _metric(self, y_true, y_pred) -> float:
+        name = self.model_spec.primary_metric
+        if name == "f1":
+            average = "binary" if self.n_classes == 2 else "macro"
+            return f1_score(y_true, y_pred, average=average)
+        if name == "accuracy":
+            return accuracy_score(y_true, y_pred)
+        if name == "v_measure":
+            return v_measure_score(y_true, y_pred)
+        raise TrainingError(f"unknown metric {name!r}")
+
+    def _train(self, config: dict, rng_seed) -> tuple:
+        """Train one candidate; returns (model, float_predictions)."""
+        ds = self.dataset
+        if self.algorithm == "dnn":
+            n_out = 1 if self.n_classes == 2 else self.n_classes
+            topology = dnn_topology(config, ds.n_features, n_out)
+            head = "sigmoid" if n_out == 1 else "softmax"
+            net = NeuralNetwork(topology, output_activation=head, seed=rng_seed)
+            targets = (
+                ds.train_y.astype(float)
+                if n_out == 1
+                else self._onehot.fit_transform(ds.train_y)
+            )
+            net.fit(
+                self._train_scaled,
+                targets,
+                epochs=self.train_epochs,
+                batch_size=int(config["batch_size"]),
+                learning_rate=10.0 ** float(config["lr_log10"]),
+                optimizer=str(config["optimizer"]),
+            )
+            return net, net.predict(self._test_scaled)
+        if self.algorithm == "bnn":
+            from repro.ml.bnn import BinarizedNetwork
+
+            n_out = 1 if self.n_classes == 2 else self.n_classes
+            topology = dnn_topology(config, ds.n_features, n_out)
+            bnn = BinarizedNetwork(topology, seed=rng_seed)
+            targets = (
+                ds.train_y.astype(float)
+                if n_out == 1
+                else self._onehot.fit_transform(ds.train_y)
+            )
+            bnn.fit(
+                self._train_scaled,
+                targets,
+                epochs=self.train_epochs,
+                batch_size=int(config["batch_size"]),
+                learning_rate=10.0 ** float(config["lr_log10"]),
+            )
+            return bnn, bnn.predict(self._test_scaled)
+        if self.algorithm == "svm":
+            svm = LinearSVM(
+                C=10.0 ** float(config["c_log10"]),
+                epochs=int(config["epochs"]),
+                learning_rate=10.0 ** float(config["lr_log10"]),
+                seed=rng_seed,
+            )
+            svm.fit(self._train_scaled, ds.train_y)
+            return svm, svm.predict(self._test_scaled)
+        if self.algorithm == "kmeans":
+            km = KMeans(
+                n_clusters=int(config["n_clusters"]),
+                n_init=int(config["n_init"]),
+                seed=rng_seed,
+            )
+            km.fit(self._train_scaled)
+            return km, km.predict(self._test_scaled)
+        if self.algorithm == "decision_tree":
+            tree = DecisionTreeClassifier(
+                max_depth=int(config["max_depth"]),
+                min_samples_leaf=int(config["min_samples_leaf"]),
+                seed=rng_seed,
+            )
+            tree.fit(self._train_scaled, ds.train_y)
+            return tree, tree.predict(self._test_scaled)
+        raise TrainingError(f"unknown algorithm {self.algorithm!r}")
+
+    def compile_pipeline(self, model, name: "str | None" = None) -> CompiledPipeline:
+        """Lower a trained model through this evaluator's backend."""
+        name = name or self.model_spec.name
+        kwargs = {"scaler": self.scaler, "name": name}
+        if self.backend.name == "tofino" and isinstance(model, LinearSVM):
+            kwargs["train_x"] = self.dataset.train_x
+        return self.backend.compile_model(model, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, config: dict) -> Evaluation:
+        """The black box: train → lower → score → feasibility verdict."""
+        rng_seed = derive(self.seed, _config_salt(config))
+        try:
+            model, float_pred = self._train(config, rng_seed)
+            pipeline = self.compile_pipeline(model)
+        except HomunculusError as exc:
+            # Unlowerable / untrainable candidates are infeasible points,
+            # not crashes: BO learns to avoid the region.
+            return Evaluation(
+                config=config,
+                objective=0.0,
+                feasible=False,
+                metrics={"error": str(exc)},
+            )
+        hw_pred = pipeline.predict(self.dataset.test_x)
+        objective = self._metric(self.dataset.test_y, hw_pred)
+        float_objective = self._metric(self.dataset.test_y, float_pred)
+        verdict = pipeline.check(self.constraints)
+        metrics = {
+            "float_objective": float(float_objective),
+            "throughput_gpps": pipeline.performance.throughput_gpps,
+            "latency_ns": pipeline.performance.latency_ns,
+            "n_params": pipeline.metadata.get("n_params", 0),
+            "algorithm": self.algorithm,
+        }
+        metrics.update({f"resource_{k}": v for k, v in pipeline.resources.usage.items()})
+        if verdict.reasons:
+            metrics["violations"] = "; ".join(verdict.reasons)
+        return Evaluation(
+            config=config,
+            objective=float(objective),
+            feasible=verdict.feasible,
+            metrics=metrics,
+        )
+
+    def rebuild(self, config: dict) -> tuple:
+        """Re-train and re-lower a configuration (final code generation).
+
+        Deterministic: the same derived seed reproduces the winning model.
+        """
+        rng_seed = derive(self.seed, _config_salt(config))
+        model, float_pred = self._train(config, rng_seed)
+        pipeline = self.compile_pipeline(model)
+        return model, pipeline, float_pred

@@ -1,0 +1,74 @@
+"""Model fusion (§3.2.5, Table 4).
+
+Models trained on similar datasets learn similar characteristics; when two
+datasets share enough features, Homunculus builds one model serving both —
+halving resource usage by de-duplicating learned structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.errors import DatasetError
+
+#: Minimum shared features before fusion is attempted (the paper's
+#: "certain number of features in common").
+DEFAULT_MIN_SHARED = 4
+
+
+def shared_features(a: Dataset, b: Dataset) -> list:
+    """Feature names common to both datasets (positional fallback).
+
+    With named features the intersection is by name; unnamed datasets
+    share features positionally when dimensions agree.
+    """
+    if a.feature_names and b.feature_names:
+        names_b = set(b.feature_names)
+        return [n for n in a.feature_names if n in names_b]
+    if a.n_features == b.n_features:
+        return [f"f{i}" for i in range(a.n_features)]
+    return []
+
+
+def should_fuse(a: Dataset, b: Dataset, min_shared: int = DEFAULT_MIN_SHARED) -> bool:
+    """The fusion trigger: enough feature overlap to share a model."""
+    return len(shared_features(a, b)) >= min_shared
+
+
+def fuse_datasets(a: Dataset, b: Dataset, name: "str | None" = None) -> Dataset:
+    """Concatenate two datasets over their shared feature set.
+
+    The fused training set is the union of both training sets (projected
+    onto the shared features, in ``a``'s order); likewise for test.  Label
+    spaces must agree — fusion shares a *task*, it does not multiplex two
+    unrelated ones.
+    """
+    common = shared_features(a, b)
+    if not common:
+        raise DatasetError(f"datasets {a.name!r} and {b.name!r} share no features")
+    labels_a = set(np.unique(np.concatenate([a.train_y, a.test_y])).tolist())
+    labels_b = set(np.unique(np.concatenate([b.train_y, b.test_y])).tolist())
+    if labels_a != labels_b:
+        raise DatasetError(
+            f"cannot fuse: label spaces differ ({sorted(labels_a)} vs {sorted(labels_b)})"
+        )
+
+    def project(ds: Dataset) -> tuple:
+        if ds.feature_names:
+            idx = [list(ds.feature_names).index(n) for n in common]
+        else:
+            idx = list(range(len(common)))
+        return ds.train_x[:, idx], ds.test_x[:, idx]
+
+    a_train, a_test = project(a)
+    b_train, b_test = project(b)
+    return Dataset(
+        train_x=np.vstack([a_train, b_train]),
+        train_y=np.concatenate([a.train_y, b.train_y]),
+        test_x=np.vstack([a_test, b_test]),
+        test_y=np.concatenate([a.test_y, b.test_y]),
+        feature_names=tuple(common),
+        name=name or f"fused({a.name}+{b.name})",
+        metadata={"fused_from": (a.name, b.name)},
+    )

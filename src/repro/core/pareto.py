@@ -1,0 +1,111 @@
+"""Accuracy-vs-resources Pareto exploration.
+
+The paper frames the central tension as "user objectives versus
+data-plane resources" (§3): the most efficient model uses as many
+resources as needed without over-provisioning.  ``generate()`` resolves
+that tension with hard feasibility constraints; this module exposes the
+*frontier* instead — a multi-objective search over (metric, resource
+usage) so an operator can see what each extra CU buys.
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.model import Model
+from repro.alchemy.platforms import PlatformSpec
+from repro.bayesopt.multiobjective import MultiObjectiveBayesianOptimizer
+from repro.bayesopt.results import Evaluation
+from repro.core.candidates import select_candidates
+from repro.core.designspace_builder import build_design_space
+from repro.core.evaluator import ModelEvaluator
+from repro.errors import SpecificationError
+from repro.rng import derive
+
+#: The resource each backend trades accuracy against.
+_PRIMARY_RESOURCE = {"taurus": "resource_cus", "tofino": "resource_mats",
+                     "fpga": "resource_lut_pct"}
+
+
+def search_pareto(
+    model_spec: Model,
+    platform: PlatformSpec,
+    algorithm: "str | None" = None,
+    budget: int = 30,
+    warmup: int = 6,
+    train_epochs: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Explore the (objective, resource) frontier for one model.
+
+    Returns ``{"front": [Evaluation...], "history": OptimizationResult,
+    "objective_key", "resource_key"}``; front entries are feasible and
+    non-dominated (higher metric, lower resource).
+    """
+    if platform.target not in _PRIMARY_RESOURCE:
+        raise SpecificationError(f"no resource objective for {platform.target!r}")
+    resource_key = _PRIMARY_RESOURCE[platform.target]
+    backend = platform.backend()
+    constraints = platform.constraints()
+    dataset = model_spec.load_dataset()
+    limits = constraints.get("resources", {})
+    candidates = select_candidates(model_spec, dataset, backend, limits)
+    algorithm = algorithm or candidates[0]
+    if algorithm not in candidates:
+        raise SpecificationError(
+            f"algorithm {algorithm!r} is not a viable candidate ({candidates})"
+        )
+    evaluator = ModelEvaluator(
+        model_spec, dataset, algorithm, backend, constraints,
+        seed=int(derive(seed, 0).integers(0, 2**31)),
+        train_epochs=train_epochs,
+    )
+    space = build_design_space(algorithm, dataset, backend, limits)
+
+    objective_key = "objective"
+
+    def black_box(config: dict) -> Evaluation:
+        outcome = evaluator.evaluate(config)
+        # Surface the scalar objective as a named metric for the
+        # multi-objective machinery.
+        outcome.metrics[objective_key] = outcome.objective
+        outcome.metrics.setdefault(resource_key, float("inf"))
+        return outcome
+
+    optimizer = MultiObjectiveBayesianOptimizer(
+        space,
+        black_box,
+        objective_names=[objective_key, resource_key],
+        minimize=[resource_key],
+        warmup=warmup,
+        seed=derive(seed, 1),
+    )
+    history = optimizer.run(budget)
+    front = optimizer.front(history)
+    front.sort(key=lambda e: e.metrics[resource_key])
+    return {
+        "front": front,
+        "history": history,
+        "objective_key": objective_key,
+        "resource_key": resource_key,
+        "algorithm": algorithm,
+    }
+
+
+def format_front(result: dict) -> str:
+    """Render a frontier as 'resource -> metric' rows."""
+    resource_key = result["resource_key"]
+    objective_key = result["objective_key"]
+    lines = [
+        f"{'Resource (' + resource_key.removeprefix('resource_') + ')':>16}"
+        f"{'Objective':>11}  config",
+        "-" * 72,
+    ]
+    for e in result["front"]:
+        brief = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in e.config.items()
+        }
+        lines.append(
+            f"{e.metrics[resource_key]:>16.0f}"
+            f"{e.metrics[objective_key]:>11.4f}  {brief}"
+        )
+    return "\n".join(lines)

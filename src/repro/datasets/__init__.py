@@ -1,0 +1,39 @@
+"""Synthetic datasets standing in for the paper's proprietary/remote data.
+
+* :mod:`repro.datasets.nslkdd` — intrusion-detection records (the NSL-KDD
+  substitute) for the anomaly-detection application,
+* :mod:`repro.datasets.iot` — IoT device traffic for traffic classification,
+* :mod:`repro.datasets.botnet` — P2P botnet vs benign flows with FlowLens
+  flowmarkers for botnet detection,
+* :mod:`repro.datasets.loaders` — CSV round-trip helpers compatible with the
+  Alchemy ``@DataLoader`` contract.
+
+Every generator takes an explicit seed, so the whole evaluation is
+reproducible bit-for-bit.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.botnet import (
+    BENIGN_PROFILES,
+    BOTNET_PROFILES,
+    generate_botnet_flows,
+    load_botnet,
+    partial_marker_dataset,
+)
+from repro.datasets.iot import IOT_PROFILES, load_iot
+from repro.datasets.loaders import load_csv_dataset, save_csv_dataset
+from repro.datasets.nslkdd import load_nslkdd
+
+__all__ = [
+    "Dataset",
+    "load_nslkdd",
+    "load_iot",
+    "IOT_PROFILES",
+    "load_botnet",
+    "generate_botnet_flows",
+    "partial_marker_dataset",
+    "BOTNET_PROFILES",
+    "BENIGN_PROFILES",
+    "load_csv_dataset",
+    "save_csv_dataset",
+]

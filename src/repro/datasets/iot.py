@@ -1,0 +1,135 @@
+"""Synthetic IoT traffic-classification dataset (the IIsy TC substitute).
+
+The paper's TC application identifies the IoT *device type* from
+packet-header features (packet size, Ethernet and IPv4 headers).  Five
+device classes are generated through the :mod:`repro.netsim` traffic
+profiles and featurized with the canonical 7-feature packet extractor, so
+the dataset flows through exactly the same code path a capture would.
+
+Class structure is clustered (devices have characteristic packet sizes and
+port ranges) which is what makes the KMeans-on-MATs mapping of Figure 7
+meaningful, but neighbouring classes overlap enough that model capacity
+still matters for the DNN comparison of Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.errors import DatasetError
+from repro.netsim.features import PACKET_FEATURE_NAMES, packet_features
+from repro.netsim.trace import TrafficProfile, generate_flow
+from repro.rng import as_generator
+
+#: Five IoT device classes with characteristic traffic shapes.  Device
+#: service ports occupy heavily overlapping but ordered bands, and every
+#: class has a secondary packet-size mode, so the classes are separable
+#: only through feature *interactions* — a low-capacity hand-tuned DNN
+#: underfits (the Table-2 TC gap) while the clusters remain structured
+#: enough for the Figure-7 KMeans study.
+IOT_PROFILES = (
+    TrafficProfile(
+        name="camera",
+        size_mean=1100.0,
+        size_sigma=0.35,
+        ipt_mean=0.03,
+        ipt_sigma=0.4,
+        flow_length_mean=40.0,
+        protocol=17,
+        port_range=(5000, 23000),
+        size_modes=((400.0, 0.3),),
+    ),
+    TrafficProfile(
+        name="thermostat",
+        size_mean=128.0,
+        size_sigma=0.35,
+        ipt_mean=5.0,
+        ipt_sigma=0.6,
+        flow_length_mean=6.0,
+        protocol=6,
+        port_range=(12000, 30000),
+        size_modes=((600.0, 0.25),),
+    ),
+    TrafficProfile(
+        name="smart_plug",
+        size_mean=96.0,
+        size_sigma=0.3,
+        ipt_mean=10.0,
+        ipt_sigma=0.5,
+        flow_length_mean=4.0,
+        protocol=6,
+        port_range=(19000, 37000),
+        size_modes=((300.0, 0.2),),
+    ),
+    TrafficProfile(
+        name="voice_assistant",
+        size_mean=480.0,
+        size_sigma=0.4,
+        ipt_mean=0.12,
+        ipt_sigma=0.8,
+        flow_length_mean=25.0,
+        protocol=17,
+        port_range=(26000, 44000),
+        size_modes=((1000.0, 0.25),),
+    ),
+    TrafficProfile(
+        name="hub",
+        size_mean=256.0,
+        size_sigma=0.5,
+        ipt_mean=1.0,
+        ipt_sigma=1.0,
+        flow_length_mean=12.0,
+        protocol=6,
+        port_range=(33000, 51000),
+        size_modes=((900.0, 0.2),),
+    ),
+)
+
+#: Feature indices an operator would select for clustering on MATs
+#: (packet size, protocol, destination port) — the high-cardinality random
+#: fields (src_port, address hash) carry no cluster structure.
+CLUSTERING_FEATURES = (0, 1, 3)
+
+
+def load_iot(
+    n_train: int = 2500,
+    n_test: int = 900,
+    seed: int = 11,
+    profiles: tuple = IOT_PROFILES,
+) -> Dataset:
+    """Generate the TC dataset: per-packet features, labels = device class."""
+    if n_train < len(profiles) or n_test < len(profiles):
+        raise DatasetError("need at least one sample per class in each split")
+    rng = as_generator(seed)
+
+    def make_split(n: int) -> tuple[np.ndarray, np.ndarray]:
+        rows = []
+        labels = []
+        while len(rows) < n:
+            cls = int(rng.integers(len(profiles)))
+            flow = generate_flow(profiles[cls], seed=rng)
+            for p in flow:
+                rows.append(packet_features(p))
+                labels.append(cls)
+                if len(rows) >= n:
+                    break
+        X = np.stack(rows)
+        y = np.array(labels, dtype=int)
+        order = rng.permutation(n)
+        return X[order], y[order]
+
+    train_x, train_y = make_split(n_train)
+    test_x, test_y = make_split(n_test)
+    return Dataset(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        feature_names=PACKET_FEATURE_NAMES,
+        name="iot-tc",
+        metadata={
+            "task": "traffic-classification",
+            "classes": tuple(p.name for p in profiles),
+        },
+    )

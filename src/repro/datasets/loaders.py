@@ -1,0 +1,68 @@
+"""CSV persistence compatible with the Alchemy ``@DataLoader`` contract.
+
+The paper's example program loads ``train_ad.csv`` / ``test_ad.csv`` from
+disk (Figure 3).  These helpers write and read that format: one row per
+sample, features first, integer label last, with a ``#``-prefixed header of
+feature names.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.errors import DatasetError
+
+
+def _write_split(path: str, X: np.ndarray, y: np.ndarray, names: tuple) -> None:
+    header = ",".join(list(names) + ["label"]) if names else ""
+    data = np.column_stack([X, y.astype(float)])
+    np.savetxt(path, data, delimiter=",", header=header, comments="# ")
+
+
+def _read_split(path: str) -> tuple[np.ndarray, np.ndarray, tuple]:
+    if not os.path.exists(path):
+        raise DatasetError(f"dataset file not found: {path}")
+    names: tuple = ()
+    with open(path) as handle:
+        first = handle.readline()
+    if first.startswith("#"):
+        columns = [c.strip() for c in first.lstrip("#").strip().split(",") if c.strip()]
+        if columns and columns[-1] == "label":
+            names = tuple(columns[:-1])
+    try:
+        data = np.loadtxt(path, delimiter=",", comments="#", ndmin=2)
+    except ValueError as exc:
+        raise DatasetError(f"malformed CSV dataset {path}: {exc}") from exc
+    if data.shape[1] < 2:
+        raise DatasetError(f"{path} needs at least one feature column plus a label")
+    return data[:, :-1], data[:, -1].astype(int), names
+
+
+def save_csv_dataset(dataset: Dataset, directory: str, prefix: "str | None" = None) -> tuple:
+    """Write ``{prefix}_train.csv`` / ``{prefix}_test.csv``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    prefix = prefix or dataset.name
+    train_path = os.path.join(directory, f"{prefix}_train.csv")
+    test_path = os.path.join(directory, f"{prefix}_test.csv")
+    _write_split(train_path, dataset.train_x, dataset.train_y, dataset.feature_names)
+    _write_split(test_path, dataset.test_x, dataset.test_y, dataset.feature_names)
+    return train_path, test_path
+
+
+def load_csv_dataset(train_path: str, test_path: str, name: str = "csv-dataset") -> Dataset:
+    """Read a pair of CSV splits written by :func:`save_csv_dataset`."""
+    train_x, train_y, names = _read_split(train_path)
+    test_x, test_y, names_test = _read_split(test_path)
+    if names and names_test and names != names_test:
+        raise DatasetError("train/test CSV headers disagree")
+    return Dataset(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        feature_names=names or names_test,
+        name=name,
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Homunculus reproduction.
+
+All library-raised errors derive from :class:`HomunculusError` so callers can
+catch one base type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class HomunculusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecificationError(HomunculusError):
+    """An Alchemy program is malformed (bad model spec, loader, or schedule)."""
+
+
+class ConstraintError(HomunculusError):
+    """A platform or network constraint is malformed or unsatisfiable."""
+
+
+class DesignSpaceError(HomunculusError):
+    """A design-space definition is invalid (bad bounds, unknown parameter)."""
+
+
+class InfeasibleError(HomunculusError):
+    """No feasible model configuration exists within the search budget."""
+
+
+class BackendError(HomunculusError):
+    """A backend failed to generate or simulate code for a candidate model."""
+
+
+class DatasetError(HomunculusError):
+    """A dataset is malformed or a loader returned an unexpected structure."""
+
+
+class TrainingError(HomunculusError):
+    """Model training failed (e.g. divergence or shape mismatch)."""

@@ -1,0 +1,31 @@
+"""Evaluation harness: one entry point per table/figure of the paper.
+
+Each ``run_*`` function reproduces an experiment and returns structured
+results; each ``format_*`` renders them in the paper's row/series layout.
+See EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.eval.baselines import BASELINE_TOPOLOGIES, train_baseline_dnn
+from repro.eval.experiments import (
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_reaction_time,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "BASELINE_TOPOLOGIES",
+    "train_baseline_dnn",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_fig4",
+    "run_fig6",
+    "run_fig7",
+    "run_reaction_time",
+]

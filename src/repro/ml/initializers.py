@@ -1,0 +1,42 @@
+"""Weight initializers for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He uniform: U(-limit, limit), limit = sqrt(6/fan_in). Suits ReLU stacks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zero init (biases)."""
+    del rng
+    return np.zeros((fan_in, fan_out))
+
+
+_REGISTRY = {
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Resolve an initializer function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TrainingError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

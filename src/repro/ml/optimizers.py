@@ -1,0 +1,106 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam).
+
+An optimizer owns per-parameter state keyed by parameter identity, so a
+single instance can drive all layers of a network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Optimizer:
+    """Base class; ``update`` applies a gradient step in place."""
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    def update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all accumulated state (used when re-training from scratch)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum:
+            v = self._velocity.get(key)
+            if v is None:
+                v = np.zeros_like(param)
+            v = self.momentum * v - self.learning_rate * grad
+            self._velocity[key] = v
+            param += v
+        else:
+            param -= self.learning_rate * grad
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise TrainingError("beta1/beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t: dict[str, int] = {}
+
+    def update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[key] = np.zeros_like(param)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        self._m[key], self._v[key] = m, v
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t.clear()
+
+
+def get_optimizer(name: "str | Optimizer", learning_rate: float = 0.01) -> Optimizer:
+    """Resolve an optimizer by name with the given learning rate."""
+    if isinstance(name, Optimizer):
+        return name
+    if name == "sgd":
+        return SGD(learning_rate)
+    if name == "momentum":
+        return SGD(learning_rate, momentum=0.9)
+    if name == "adam":
+        return Adam(learning_rate)
+    raise TrainingError(f"unknown optimizer {name!r}; available: adam, sgd, momentum")

@@ -1,0 +1,242 @@
+"""CART decision trees (classifier and regressor).
+
+Two consumers: (a) decision trees are one of the classical algorithms the
+Tofino backend lowers onto MATs (one table per level), and (b) the
+regression tree is the building block of the random forest that serves as
+the Bayesian-optimization surrogate (the paper configures HyperMapper with
+a random-forest model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rng import as_generator
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry ``value``, splits carry feature/threshold."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | None = None  # class counts (clf) or mean (reg)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class _BaseTree:
+    """Shared CART machinery; subclasses define impurity and leaf values."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | str | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if max_depth < 1:
+            raise TrainingError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2 or min_samples_leaf < 1:
+            raise TrainingError("min_samples_split >= 2 and min_samples_leaf >= 1 required")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self._rng = as_generator(seed)
+        self.root: _Node | None = None
+        self.n_features_: int = 0
+
+    # Subclass hooks -----------------------------------------------------
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # Construction -------------------------------------------------------
+    def _candidate_features(self) -> np.ndarray:
+        d = self.n_features_
+        if self.max_features is None:
+            return np.arange(d)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(d)))
+        else:
+            k = min(int(self.max_features), d)
+        return self._rng.choice(d, size=k, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, float]:
+        """Return (feature, threshold, gain); feature == -1 if no split."""
+        parent = self._impurity(y)
+        n = y.shape[0]
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in self._candidate_features():
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Candidate thresholds at midpoints between distinct values.
+            distinct = np.nonzero(np.diff(xs) > 0)[0]
+            for i in distinct:
+                left_n = i + 1
+                right_n = n - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                gain = parent - (
+                    left_n / n * self._impurity(ys[:left_n])
+                    + right_n / n * self._impurity(ys[left_n:])
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = float((xs[i] + xs[i + 1]) / 2.0)
+        return best_feature, best_threshold, best_gain
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y))
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or self._impurity(y) == 0.0
+        ):
+            return node
+        feature, threshold, gain = self._best_split(X, y)
+        if feature < 0 or gain <= 0.0:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise TrainingError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise TrainingError("X and y disagree on sample count")
+        if X.shape[0] == 0:
+            raise TrainingError("cannot fit a tree on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self._prepare_targets(y)
+        self.root = self._build(X, self._encoded_targets(y), depth=0)
+        return self
+
+    def _prepare_targets(self, y: np.ndarray) -> None:
+        """Subclass hook run once before building (e.g. class table)."""
+
+    def _encoded_targets(self, y: np.ndarray) -> np.ndarray:
+        return y
+
+    # Inference ----------------------------------------------------------
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        if self.root is None:
+            raise TrainingError("tree used before fit()")
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    @property
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (0 for a stump)."""
+
+        def walk(node: "_Node | None") -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+
+        def walk(node: "_Node | None") -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+
+        def walk(node: "_Node | None") -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self.root)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Gini-impurity CART classifier over integer labels."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.classes_: np.ndarray | None = None
+
+    def _prepare_targets(self, y: np.ndarray) -> None:
+        self.classes_ = np.unique(y)
+
+    def _encoded_targets(self, y: np.ndarray) -> np.ndarray:
+        index = {c: i for i, c in enumerate(self.classes_)}
+        return np.array([index[v] for v in y], dtype=int)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=len(self.classes_))
+        return counts.astype(float)
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return _gini(np.bincount(y, minlength=len(self.classes_)))
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for i, x in enumerate(X):
+            counts = self._leaf_for(x).value
+            out[i] = counts / counts.sum()
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[proba.argmax(axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Variance-reduction CART regressor."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([float(np.mean(y))])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y)) if y.shape[0] else 0.0
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return np.array([self._leaf_for(x).value[0] for x in X])

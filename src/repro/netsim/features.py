@@ -1,0 +1,54 @@
+"""Per-packet feature extraction.
+
+The paper's AD and TC pipelines classify from packet-header features
+(packet size, Ethernet and IPv4 headers — §5).  This module defines the
+canonical 7-feature vector used throughout the reproduction; the order
+matches what the generated P4/Spatial parsers would extract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.flow import Flow
+from repro.netsim.packet import Packet
+
+#: Canonical per-packet feature order (7 features, as in the paper's AD/TC).
+PACKET_FEATURE_NAMES = (
+    "size",
+    "protocol",
+    "src_port",
+    "dst_port",
+    "ttl",
+    "tcp_flags",
+    "ip_pair_hash",
+)
+
+
+def _ip_pair_hash(packet: Packet) -> int:
+    """A cheap 16-bit hash of the address pair (a stand-in for learned
+    embeddings of the address space; real data planes hash with CRC units)."""
+    mixed = (packet.src_ip * 2654435761 ^ packet.dst_ip * 40503) & 0xFFFFFFFF
+    return (mixed >> 16) ^ (mixed & 0xFFFF)
+
+
+def packet_features(packet: Packet) -> np.ndarray:
+    """Extract the 7-dim feature vector for one packet."""
+    return np.array(
+        [
+            float(packet.size),
+            float(packet.protocol),
+            float(packet.src_port),
+            float(packet.dst_port),
+            float(packet.ttl),
+            float(packet.tcp_flags),
+            float(_ip_pair_hash(packet)),
+        ]
+    )
+
+
+def flow_packet_features(flow: Flow) -> np.ndarray:
+    """Feature matrix (n_packets x 7) for every packet of a flow."""
+    if len(flow) == 0:
+        return np.empty((0, len(PACKET_FEATURE_NAMES)))
+    return np.stack([packet_features(p) for p in flow])

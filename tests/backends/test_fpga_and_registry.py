@@ -1,0 +1,159 @@
+"""Tests for the FPGA backend, the shared base classes, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, get_backend
+from repro.backends.base import (
+    FeasibilityVerdict,
+    PerformanceEstimate,
+    ResourceUsage,
+)
+from repro.backends.fpga import FpgaBackend, FpgaDevice
+from repro.backends.fpga.power import SHELL_POWER_W, estimate_power_watts
+from repro.backends.fpga.resources import (
+    SHELL_BRAM_PCT,
+    SHELL_FF_PCT,
+    SHELL_LUT_PCT,
+    dnn_macs,
+    dnn_params,
+    estimate_fpga_utilisation,
+    loopback_utilisation,
+)
+from repro.backends.registry import register_backend
+from repro.errors import BackendError
+
+
+class TestResourceUsage:
+    def test_lookup(self):
+        usage = ResourceUsage({"cus": 5})
+        assert usage["cus"] == 5
+        with pytest.raises(BackendError):
+            usage["nope"]
+
+    def test_within_and_violations(self):
+        usage = ResourceUsage({"cus": 5, "mus": 10})
+        assert usage.within({"cus": 5})
+        assert not usage.within({"mus": 9})
+        assert len(usage.violations({"cus": 4, "mus": 9})) == 2
+
+    def test_unknown_limit_ignored(self):
+        usage = ResourceUsage({"cus": 5})
+        assert usage.within({"bram": 1})
+
+
+class TestPerformanceEstimate:
+    def test_meets(self):
+        perf = PerformanceEstimate(throughput_gpps=1.0, latency_ns=100.0)
+        assert perf.meets({"throughput": 1.0, "latency": 500.0}) == []
+        assert len(perf.meets({"throughput": 2.0})) == 1
+        assert len(perf.meets({"latency": 50.0})) == 1
+
+    def test_positive_required(self):
+        with pytest.raises(BackendError):
+            PerformanceEstimate(throughput_gpps=0.0, latency_ns=1.0)
+
+
+class TestFeasibilityVerdict:
+    def test_ok_and_fail(self):
+        assert FeasibilityVerdict.ok().feasible
+        failed = FeasibilityVerdict.fail(["too big"])
+        assert not failed.feasible
+        assert failed.reasons == ("too big",)
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(available_backends()) >= {"taurus", "tofino", "fpga"}
+
+    def test_get_backend_case_insensitive(self):
+        assert get_backend("Taurus").name == "taurus"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError):
+            get_backend("gpu")
+
+    def test_register_custom(self):
+        class Dummy:
+            name = "dummy"
+
+        register_backend("dummy-test", lambda: Dummy())
+        assert get_backend("dummy-test").name == "dummy"
+
+    def test_register_non_callable_raises(self):
+        with pytest.raises(BackendError):
+            register_backend("bad", 42)
+
+
+class TestFpgaResourceModel:
+    def test_param_and_mac_counts(self):
+        assert dnn_params([7, 12, 8, 1]) == 8 * 12 + 13 * 8 + 9
+        assert dnn_macs([7, 12, 8, 1]) == 7 * 12 + 12 * 8 + 8
+
+    def test_shell_floor(self):
+        shell = loopback_utilisation()
+        assert shell["lut_pct"] == SHELL_LUT_PCT
+        assert shell["ff_pct"] == SHELL_FF_PCT
+        assert shell["bram_pct"] == SHELL_BRAM_PCT
+
+    def test_utilisation_grows_with_model(self):
+        small = estimate_fpga_utilisation([7, 8, 1])
+        large = estimate_fpga_utilisation([30, 32, 16, 1])
+        assert large["lut_pct"] > small["lut_pct"]
+        assert large["ff_pct"] > small["ff_pct"]
+
+    def test_bram_constant(self):
+        small = estimate_fpga_utilisation([7, 8, 1])
+        large = estimate_fpga_utilisation([30, 32, 16, 1])
+        assert small["bram_pct"] == large["bram_pct"] == SHELL_BRAM_PCT
+
+    def test_utilisation_in_table5_band(self):
+        # The paper's ~200-700-parameter models land in the 6.5-7.5% band.
+        usage = estimate_fpga_utilisation([7, 12, 8, 1])
+        assert 6.0 < usage["lut_pct"] < 8.0
+
+    def test_power_model(self):
+        shell_power = estimate_power_watts(loopback_utilisation())
+        assert shell_power == pytest.approx(SHELL_POWER_W)
+        model_power = estimate_power_watts(estimate_fpga_utilisation([7, 12, 8, 1]))
+        assert SHELL_POWER_W < model_power < 20.0
+
+    def test_device_validation(self):
+        with pytest.raises(BackendError):
+            FpgaDevice(luts=0)
+
+
+class TestFpgaBackend:
+    def test_compile_reports_fpga_resources(self, trained_ad_net, ad_dataset):
+        net, scaler = trained_ad_net
+        pipe = FpgaBackend().compile_model(net, scaler=scaler, name="ad")
+        assert pipe.backend == "fpga"
+        assert "lut_pct" in pipe.resources.usage
+        assert pipe.metadata["power_watts"] > SHELL_POWER_W
+        assert pipe.predict(ad_dataset.test_x).shape == (ad_dataset.n_test,)
+
+    def test_functional_equivalence_with_taurus(self, trained_ad_net, ad_dataset):
+        from repro.backends.taurus import TaurusBackend
+
+        net, scaler = trained_ad_net
+        fpga = FpgaBackend().compile_model(net, scaler=scaler)
+        taurus = TaurusBackend().compile_model(net, scaler=scaler)
+        assert np.array_equal(
+            fpga.predict(ad_dataset.test_x), taurus.predict(ad_dataset.test_x)
+        )
+
+    def test_performance_reflects_clock(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        pipe = FpgaBackend().compile_model(net, scaler=scaler)
+        assert pipe.performance.throughput_gpps == pytest.approx(0.25)
+        assert pipe.performance.latency_ns > 0
+
+    def test_resource_limits_defaults(self):
+        limits = FpgaBackend().resource_limits({})
+        assert limits == {"lut_pct": 100.0, "ff_pct": 100.0, "bram_pct": 100.0}
+
+    def test_unsupported_model_raises(self):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        with pytest.raises(BackendError):
+            FpgaBackend().compile_model(DecisionTreeClassifier())

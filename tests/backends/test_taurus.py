@@ -1,0 +1,266 @@
+"""Tests for the Taurus backend: resources, IR, simulator, codegen."""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import ResourceUsage
+from repro.backends.taurus import TaurusBackend, TaurusGrid, estimate_dnn_resources
+from repro.backends.taurus.ir import (
+    DecisionStage,
+    DenseStage,
+    MapReduceProgram,
+    ScaleStage,
+    lower_network,
+    lower_svm,
+)
+from repro.backends.taurus.resources import (
+    dense_layer_cost,
+    initiation_interval,
+    scale_stage_cost,
+)
+from repro.backends.taurus.simulator import TaurusSimulator
+from repro.backends.taurus.spatial_codegen import generate_spatial
+from repro.errors import BackendError
+from repro.ml.network import NeuralNetwork
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM
+
+
+class TestGrid:
+    def test_capacity(self):
+        grid = TaurusGrid(16, 16)
+        assert grid.available_cus == 256
+        assert grid.available_mus == 256
+
+    def test_limits_dict(self):
+        assert TaurusGrid(4, 4).limits() == {"cus": 16, "mus": 16}
+
+    def test_invalid_grid(self):
+        with pytest.raises(BackendError):
+            TaurusGrid(0, 4)
+
+
+class TestCostModel:
+    def test_dense_cost_scales_with_macs(self):
+        small = dense_layer_cost(7, 4, nonlinear=True)
+        large = dense_layer_cost(7, 32, nonlinear=True)
+        assert large.cus > small.cus
+        assert large.mus > small.mus
+
+    def test_wide_layer_cu_heavy(self):
+        wide = dense_layer_cost(30, 10, nonlinear=True)
+        narrow = dense_layer_cost(6, 6, nonlinear=True)
+        assert wide.cus > 3 * narrow.cus
+
+    def test_deep_stack_mu_heavy(self):
+        # Same MAC count: one wide layer vs many narrow ones.
+        wide_usage, _ = estimate_dnn_resources([8, 32, 1], include_scaler=False)
+        deep_usage, _ = estimate_dnn_resources(
+            [8, 6, 6, 6, 6, 6, 1], include_scaler=False
+        )
+        wide_ratio = wide_usage["mus"] / wide_usage["cus"]
+        deep_ratio = deep_usage["mus"] / deep_usage["cus"]
+        assert deep_ratio > wide_ratio  # boundary buffers dominate in depth
+
+    def test_estimate_includes_all_layers(self):
+        usage, cycles = estimate_dnn_resources([7, 12, 8, 1])
+        assert usage["cus"] > 0 and usage["mus"] > 0
+        assert cycles > 6
+
+    def test_bad_topology_raises(self):
+        with pytest.raises(BackendError):
+            estimate_dnn_resources([7])
+
+    def test_initiation_interval(self):
+        grid = TaurusGrid(2, 2)  # 4 CUs / 4 MUs
+        fits = ResourceUsage({"cus": 4, "mus": 4})
+        over = ResourceUsage({"cus": 9, "mus": 2})
+        assert initiation_interval(fits, grid) == 1
+        assert initiation_interval(over, grid) == 3
+
+    def test_scale_stage_cost_positive(self):
+        cost = scale_stage_cost(7)
+        assert cost.cus >= 1 and cost.mus >= 1
+
+
+class TestIR:
+    def test_lower_network_structure(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        program = lower_network(net, scaler=scaler, name="ad")
+        assert isinstance(program.stages[0], ScaleStage)
+        assert isinstance(program.stages[-1], DecisionStage)
+        assert program.topology == net.topology
+
+    def test_lower_without_scaler(self, trained_ad_net):
+        net, _ = trained_ad_net
+        program = lower_network(net, name="ad")
+        assert isinstance(program.stages[0], DenseStage)
+
+    def test_binary_head_is_threshold(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        program = lower_network(net, scaler=scaler)
+        assert program.stages[-1].kind == "threshold"
+
+    def test_multiclass_head_is_argmax(self):
+        net = NeuralNetwork([4, 6, 3], output_activation="softmax", seed=0)
+        program = lower_network(net)
+        assert program.stages[-1].kind == "argmax"
+
+    def test_dim_mismatch_detected(self):
+        stage_a = DenseStage(
+            weight_codes=np.zeros((4, 3), dtype=np.int64),
+            bias_codes=np.zeros(3, dtype=np.int64),
+        )
+        stage_b = DenseStage(
+            weight_codes=np.zeros((5, 2), dtype=np.int64),
+            bias_codes=np.zeros(2, dtype=np.int64),
+        )
+        with pytest.raises(BackendError):
+            MapReduceProgram(
+                name="bad",
+                stages=[stage_a, stage_b, DecisionStage(kind="argmax", n_outputs=2)],
+            )
+
+    def test_program_must_end_with_decision(self):
+        stage = DenseStage(
+            weight_codes=np.zeros((2, 1), dtype=np.int64),
+            bias_codes=np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(BackendError):
+            MapReduceProgram(name="bad", stages=[stage])
+
+    def test_unsupported_activation_rejected(self):
+        net = NeuralNetwork([3, 4, 1], hidden_activation="tanh", seed=0)
+        with pytest.raises(BackendError):
+            lower_network(net)
+
+    def test_lower_svm(self, blobs_binary):
+        Xtr, ytr, _, _ = blobs_binary
+        svm = LinearSVM(seed=0, epochs=10).fit(Xtr, ytr)
+        program = lower_svm(svm)
+        assert len(program.dense_stages) == 1
+        assert program.stages[-1].kind == "threshold"
+
+    def test_unfit_svm_raises(self):
+        with pytest.raises(BackendError):
+            lower_svm(LinearSVM())
+
+
+class TestSimulator:
+    def test_matches_float_model(self, trained_ad_net, ad_dataset):
+        net, scaler = trained_ad_net
+        program = lower_network(net, scaler=scaler)
+        sim = TaurusSimulator(program)
+        hw = sim.predict(ad_dataset.test_x)
+        float_pred = net.predict(scaler.transform(ad_dataset.test_x))
+        assert float(np.mean(hw == float_pred)) > 0.97
+
+    def test_multiclass_agreement(self, tc_dataset):
+        from repro.ml.preprocessing import OneHotEncoder
+
+        scaler = StandardScaler().fit(tc_dataset.train_x)
+        net = NeuralNetwork([7, 10, 5], output_activation="softmax", seed=0)
+        net.fit(
+            scaler.transform(tc_dataset.train_x),
+            OneHotEncoder(5).fit_transform(tc_dataset.train_y),
+            epochs=25,
+            learning_rate=0.01,
+        )
+        program = lower_network(net, scaler=scaler)
+        hw = TaurusSimulator(program).predict(tc_dataset.test_x)
+        float_pred = net.predict(scaler.transform(tc_dataset.test_x))
+        assert float(np.mean(hw == float_pred)) > 0.9
+
+    def test_resources_match_estimate(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        program = lower_network(net, scaler=scaler)
+        sim = TaurusSimulator(program)
+        estimate, cycles = estimate_dnn_resources(net.topology)
+        assert sim.resources()["cus"] == estimate["cus"]
+        assert sim.resources()["mus"] == estimate["mus"]
+        assert sim.pipeline_cycles() == cycles
+
+    def test_performance_ii1_when_fits(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        sim = TaurusSimulator(lower_network(net, scaler=scaler), TaurusGrid(16, 16))
+        perf = sim.performance()
+        assert perf.throughput_gpps == pytest.approx(1.0)
+        assert perf.latency_ns < 500
+
+    def test_throughput_degrades_when_oversubscribed(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        sim = TaurusSimulator(lower_network(net, scaler=scaler), TaurusGrid(2, 2))
+        assert sim.performance().throughput_gpps < 1.0
+
+    def test_single_row_input(self, trained_ad_net, ad_dataset):
+        net, scaler = trained_ad_net
+        sim = TaurusSimulator(lower_network(net, scaler=scaler))
+        out = sim.predict(ad_dataset.test_x[0])
+        assert out.shape == (1,)
+
+
+class TestSpatialCodegen:
+    def test_contains_structure(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        program = lower_network(net, scaler=scaler, name="anomaly_detection")
+        source = generate_spatial(program)
+        assert "@spatial object AnomalyDetection" in source
+        assert "Reduce(Reg[" in source
+        assert "Foreach(" in source
+        assert source.count("LUT[") >= 2 * len(net.dense_layers)
+
+    def test_topology_in_header(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        source = generate_spatial(lower_network(net, scaler=scaler, name="x"))
+        assert "->".join(str(d) for d in net.topology) in source
+
+    def test_threshold_decision_rendered(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        source = generate_spatial(lower_network(net, scaler=scaler, name="x"))
+        assert "mux(" in source and "insertResult" in source
+
+
+class TestTaurusBackend:
+    def test_compile_network(self, trained_ad_net, ad_dataset):
+        net, scaler = trained_ad_net
+        backend = TaurusBackend()
+        pipe = backend.compile_model(net, scaler=scaler, name="ad")
+        assert pipe.backend == "taurus"
+        assert pipe.model_kind == "dnn"
+        assert "ad.scala" in pipe.sources
+        assert pipe.metadata["n_params"] == net.n_params
+        preds = pipe.predict(ad_dataset.test_x)
+        assert preds.shape == (ad_dataset.n_test,)
+
+    def test_compile_svm(self, blobs_binary):
+        Xtr, ytr, Xte, _ = blobs_binary
+        scaler = StandardScaler().fit(Xtr)
+        svm = LinearSVM(seed=0, epochs=10).fit(scaler.transform(Xtr), ytr)
+        pipe = TaurusBackend().compile_model(svm, scaler=scaler, name="svm")
+        assert pipe.model_kind == "svm"
+        assert pipe.predict(Xte).shape == (Xte.shape[0],)
+
+    def test_unsupported_model_raises(self):
+        from repro.ml.kmeans import KMeans
+
+        with pytest.raises(BackendError):
+            TaurusBackend().compile_model(KMeans())
+
+    def test_resource_limits_expansion(self):
+        backend = TaurusBackend()
+        limits = backend.resource_limits({"rows": 4, "cols": 8})
+        assert limits == {"cus": 32, "mus": 32}
+
+    def test_resource_limits_passthrough(self):
+        backend = TaurusBackend()
+        assert backend.resource_limits({"cus": 10}) == {"cus": 10}
+
+    def test_constraint_check(self, trained_ad_net):
+        net, scaler = trained_ad_net
+        pipe = TaurusBackend().compile_model(net, scaler=scaler)
+        ok = pipe.check({"performance": {"throughput": 1, "latency": 500},
+                         "resources": {"cus": 256, "mus": 256}})
+        assert ok.feasible
+        tight = pipe.check({"resources": {"cus": 1}})
+        assert not tight.feasible
+        assert any("cus" in reason for reason in tight.reasons)

@@ -1,0 +1,243 @@
+"""Tests for the Tofino backend: MAT IR, IIsy lowering, interpreter, P4."""
+
+import numpy as np
+import pytest
+
+from repro.backends.tofino import MatInterpreter, TofinoBackend, TofinoModel
+from repro.backends.tofino.iisy import lower_kmeans, lower_svm, lower_tree
+from repro.backends.tofino.mat import (
+    DecisionTable,
+    FeatureScoreTable,
+    MatPipeline,
+    RangeEntry,
+    TreeEntry,
+    encode_key,
+)
+from repro.backends.tofino.p4_codegen import generate_p4
+from repro.backends.tofino.resources import (
+    check_entry_capacity,
+    pipeline_performance,
+    pipeline_resources,
+)
+from repro.errors import BackendError
+from repro.ml.kmeans import KMeans
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def tc_models(tc_dataset):
+    """Trained SVM / KMeans / tree on the IoT data (module-scoped)."""
+    scaler = StandardScaler().fit(tc_dataset.train_x)
+    Xtr = scaler.transform(tc_dataset.train_x)
+    svm = LinearSVM(seed=0, epochs=25).fit(Xtr, tc_dataset.train_y)
+    km = KMeans(n_clusters=5, seed=0).fit(Xtr)
+    tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(Xtr, tc_dataset.train_y)
+    return scaler, svm, km, tree
+
+
+class TestMatIR:
+    def test_range_entry_matches(self):
+        entry = RangeEntry(lo=0, hi=10, data=(1, 2))
+        assert entry.matches(0) and entry.matches(9)
+        assert not entry.matches(10)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(BackendError):
+            RangeEntry(lo=5, hi=5, data=(0,))
+
+    def test_feature_table_ragged_scores_rejected(self):
+        with pytest.raises(BackendError):
+            FeatureScoreTable(
+                name="t", feature_index=0,
+                entries=[RangeEntry(0, 1, (1, 2)), RangeEntry(1, 2, (1,))],
+            )
+
+    def test_tree_entry_exclusive_outcomes(self):
+        with pytest.raises(BackendError):
+            TreeEntry(node=0, feature_index=0, lo=0, hi=1, next_node=1, leaf_class=2)
+        with pytest.raises(BackendError):
+            TreeEntry(node=0, feature_index=0, lo=0, hi=1)
+
+    def test_pipeline_needs_decision_tail(self):
+        table = FeatureScoreTable(
+            name="t", feature_index=0, entries=[RangeEntry(0, 1, (0, 0))]
+        )
+        with pytest.raises(BackendError):
+            MatPipeline(name="p", n_features=1, tables=[table])
+
+    def test_encode_key_fixed_point(self):
+        assert encode_key(1.0) == 256
+        assert encode_key(-0.5) == -128
+
+
+class TestSvmLowering:
+    def test_mat_count_is_features_plus_vote(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler)
+        assert pipeline.n_mats == tc_dataset.n_features + 1
+
+    def test_interpreter_agrees_with_float_svm(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler)
+        hw = MatInterpreter(pipeline).predict(tc_dataset.test_x)
+        float_pred = svm.predict(scaler.transform(tc_dataset.test_x))
+        assert float(np.mean(hw == float_pred)) > 0.9
+
+    def test_binary_svm_two_class_scores(self, blobs_binary):
+        Xtr, ytr, Xte, _ = blobs_binary
+        scaler = StandardScaler().fit(Xtr)
+        svm = LinearSVM(seed=0, epochs=10).fit(scaler.transform(Xtr), ytr)
+        pipeline = lower_svm(svm, Xtr, scaler=scaler)
+        assert pipeline.decision.n_classes == 2
+        hw = MatInterpreter(pipeline).predict(Xte)
+        float_pred = svm.predict(scaler.transform(Xte))
+        assert float(np.mean(hw == float_pred)) > 0.95
+
+    def test_unfit_raises(self, tc_dataset):
+        with pytest.raises(BackendError):
+            lower_svm(LinearSVM(), tc_dataset.train_x)
+
+
+class TestKMeansLowering:
+    def test_mat_count_is_cluster_count(self, tc_models):
+        scaler, _, km, _ = tc_models
+        pipeline = lower_kmeans(km, scaler=scaler)
+        assert pipeline.n_mats == km.n_clusters
+
+    def test_interpreter_agrees_with_float_kmeans(self, tc_models, tc_dataset):
+        scaler, _, km, _ = tc_models
+        pipeline = lower_kmeans(km, scaler=scaler)
+        hw = MatInterpreter(pipeline).predict(tc_dataset.test_x)
+        float_pred = km.predict(scaler.transform(tc_dataset.test_x))
+        assert float(np.mean(hw == float_pred)) > 0.95
+
+    def test_unfit_raises(self):
+        with pytest.raises(BackendError):
+            lower_kmeans(KMeans())
+
+
+class TestTreeLowering:
+    def test_mat_count_tracks_depth(self, tc_models):
+        scaler, _, _, tree = tc_models
+        pipeline = lower_tree(tree, scaler=scaler)
+        assert pipeline.n_mats == tree.depth + 1  # levels + leaf decision
+
+    def test_interpreter_matches_tree_exactly_on_train(self, tc_models, tc_dataset):
+        scaler, _, _, tree = tc_models
+        pipeline = lower_tree(tree, scaler=scaler)
+        hw = MatInterpreter(pipeline).predict(tc_dataset.train_x)
+        float_pred = tree.predict(scaler.transform(tc_dataset.train_x))
+        assert float(np.mean(hw == float_pred)) > 0.99
+
+    def test_stump_lowering(self, blobs_binary):
+        Xtr, ytr, Xte, _ = blobs_binary
+        tree = DecisionTreeClassifier(max_depth=1, seed=0).fit(Xtr, ytr)
+        pipeline = lower_tree(tree)
+        hw = MatInterpreter(pipeline).predict(Xte)
+        assert float(np.mean(hw == tree.predict(Xte))) > 0.99
+
+
+class TestResources:
+    def test_performance_line_rate(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler)
+        perf = pipeline_performance(pipeline)
+        assert perf.throughput_gpps == 1.0
+        assert perf.latency_ns > 100
+
+    def test_resource_usage_keys(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler)
+        usage = pipeline_resources(pipeline)
+        assert usage["mats"] == pipeline.n_mats
+        assert usage["entries"] == pipeline.total_entries
+
+    def test_entry_capacity_check(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler)
+        tiny = TofinoModel(max_mats=32, max_entries_per_table=4)
+        assert check_entry_capacity(pipeline, tiny)  # violations reported
+        assert not check_entry_capacity(pipeline, TofinoModel())
+
+
+class TestP4Codegen:
+    def test_svm_program_structure(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipeline = lower_svm(svm, tc_dataset.train_x, scaler=scaler, name="tc_svm")
+        source = generate_p4(pipeline)
+        assert "#include <v1model.p4>" in source
+        assert "const entries" in source
+        assert "svm_feature_0" in source
+        assert "V1Switch" in source
+
+    def test_kmeans_program_structure(self, tc_models):
+        scaler, _, km, _ = tc_models
+        pipeline = lower_kmeans(km, scaler=scaler, name="tc_km")
+        source = generate_p4(pipeline)
+        assert "compute_dist_0" in source
+        assert "meta.dist0" in source
+
+    def test_tree_program_structure(self, tc_models):
+        scaler, _, _, tree = tc_models
+        pipeline = lower_tree(tree, scaler=scaler, name="tc_tree")
+        source = generate_p4(pipeline)
+        assert "tree_level_0" in source
+        assert "set_leaf_0" in source
+        assert "meta.node: exact;" in source
+
+
+class TestTofinoBackend:
+    def test_compile_svm(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        backend = TofinoBackend()
+        pipe = backend.compile_model(
+            svm, scaler=scaler, train_x=tc_dataset.train_x, name="svm"
+        )
+        assert pipe.backend == "tofino"
+        assert "svm.p4" in pipe.sources
+        assert pipe.resources["mats"] == 8
+
+    def test_compile_svm_without_train_x_raises(self, tc_models):
+        scaler, svm, _, _ = tc_models
+        with pytest.raises(BackendError):
+            TofinoBackend().compile_model(svm, scaler=scaler)
+
+    def test_compile_kmeans_and_tree(self, tc_models, tc_dataset):
+        scaler, _, km, tree = tc_models
+        backend = TofinoBackend()
+        km_pipe = backend.compile_model(km, scaler=scaler, name="km")
+        tree_pipe = backend.compile_model(tree, scaler=scaler, name="tree")
+        assert km_pipe.model_kind == "kmeans"
+        assert tree_pipe.model_kind == "decision_tree"
+
+    def test_unsupported_model_raises(self, trained_ad_net):
+        net, _ = trained_ad_net
+        with pytest.raises(BackendError):
+            TofinoBackend().compile_model(net)
+
+    def test_resource_limits(self):
+        backend = TofinoBackend()
+        assert backend.resource_limits({"mats": 5}) == {"mats": 5}
+        assert backend.resource_limits({"tables": 7}) == {"mats": 7}
+        assert backend.resource_limits({}) == {"mats": 32}
+
+    def test_feature_pruning_ranks_by_impact(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        keep = TofinoBackend.prune_svm_features(svm, tc_dataset.train_x, 3)
+        assert len(keep) == 3
+        assert all(0 <= i < tc_dataset.n_features for i in keep)
+
+    def test_pruning_bounds(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        with pytest.raises(BackendError):
+            TofinoBackend.prune_svm_features(svm, tc_dataset.train_x, 0)
+
+    def test_mat_constraint_verdict(self, tc_models, tc_dataset):
+        scaler, svm, _, _ = tc_models
+        pipe = TofinoBackend().compile_model(
+            svm, scaler=scaler, train_x=tc_dataset.train_x
+        )
+        verdict = pipe.check({"resources": {"mats": 4}})
+        assert not verdict.feasible

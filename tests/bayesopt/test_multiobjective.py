@@ -1,0 +1,110 @@
+"""Tests for scalarization-based multi-objective BO."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.multiobjective import MultiObjectiveBayesianOptimizer
+from repro.bayesopt.results import Evaluation
+from repro.bayesopt.space import DesignSpace, Integer
+from repro.errors import DesignSpaceError
+
+
+@pytest.fixture
+def space():
+    return DesignSpace([Integer("x", 0, 20)])
+
+
+def two_objectives(config):
+    """Accuracy rises with x; cost rises with x — a clean trade-off."""
+    x = config["x"]
+    return Evaluation(
+        config=config,
+        objective=0.0,  # overwritten by the scalarizer
+        feasible=True,
+        metrics={"accuracy": x / 20.0, "cost": float(x)},
+    )
+
+
+class TestMultiObjective:
+    def test_needs_two_objectives(self, space):
+        with pytest.raises(DesignSpaceError):
+            MultiObjectiveBayesianOptimizer(
+                space, two_objectives, objective_names=["accuracy"]
+            )
+
+    def test_runs_budget(self, space):
+        mo = MultiObjectiveBayesianOptimizer(
+            space, two_objectives, ["accuracy", "cost"], minimize=["cost"],
+            warmup=3, seed=0,
+        )
+        result = mo.run(10)
+        assert len(result) == 10
+
+    def test_records_weights_and_vectors(self, space):
+        mo = MultiObjectiveBayesianOptimizer(
+            space, two_objectives, ["accuracy", "cost"], minimize=["cost"],
+            warmup=3, seed=0,
+        )
+        result = mo.run(6)
+        for e in result.history:
+            weights = e.metrics["scalarization_weights"]
+            assert len(weights) == 2
+            assert sum(weights) == pytest.approx(1.0)
+            assert "accuracy" in e.metrics and "cost" in e.metrics
+
+    def test_front_contains_extremes(self, space):
+        mo = MultiObjectiveBayesianOptimizer(
+            space, two_objectives, ["accuracy", "cost"], minimize=["cost"],
+            warmup=5, seed=1,
+        )
+        result = mo.run(21)  # space has 21 points; dedupe covers it
+        front = mo.front(result)
+        # With accuracy strictly increasing and cost strictly increasing in
+        # x, *every* point is Pareto-optimal.
+        assert len(front) == 21
+
+    def test_front_excludes_dominated(self, space):
+        def objectives(config):
+            x = config["x"]
+            # accuracy peaks at x=10 while cost still rises: x>10 dominated.
+            return Evaluation(
+                config=config,
+                objective=0.0,
+                feasible=True,
+                metrics={"accuracy": 1.0 - abs(x - 10) / 10.0, "cost": float(x)},
+            )
+
+        mo = MultiObjectiveBayesianOptimizer(
+            space, objectives, ["accuracy", "cost"], minimize=["cost"],
+            warmup=5, seed=2,
+        )
+        result = mo.run(21)
+        front_xs = {e.config["x"] for e in mo.front(result)}
+        assert all(x <= 10 for x in front_xs)
+
+    def test_missing_metric_raises(self, space):
+        def bad(config):
+            return Evaluation(config=config, objective=0.0, metrics={"accuracy": 1.0})
+
+        mo = MultiObjectiveBayesianOptimizer(
+            space, bad, ["accuracy", "cost"], warmup=2, seed=0
+        )
+        with pytest.raises(DesignSpaceError):
+            mo.run(3)
+
+    def test_infeasible_excluded_from_front(self, space):
+        def objectives(config):
+            x = config["x"]
+            return Evaluation(
+                config=config,
+                objective=0.0,
+                feasible=x <= 5,
+                metrics={"accuracy": x / 20.0, "cost": float(x)},
+            )
+
+        mo = MultiObjectiveBayesianOptimizer(
+            space, objectives, ["accuracy", "cost"], minimize=["cost"],
+            warmup=4, seed=3,
+        )
+        result = mo.run(15)
+        assert all(e.feasible for e in mo.front(result))

@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic datasets and trained models.
+
+Everything is seeded and sized for test speed; session scope avoids
+re-generating/re-training per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_botnet, load_iot, load_nslkdd
+from repro.ml.network import NeuralNetwork
+from repro.ml.preprocessing import StandardScaler
+
+
+@pytest.fixture(scope="session")
+def blobs_binary():
+    """Two well-separated Gaussian blobs (700 train / 300 test, 7 features)."""
+    rng = np.random.default_rng(42)
+    X0 = rng.normal(0.0, 1.0, (500, 7))
+    X1 = rng.normal(2.5, 1.0, (500, 7))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 500 + [1] * 500)
+    order = rng.permutation(1000)
+    X, y = X[order], y[order]
+    return X[:700], y[:700], X[700:], y[700:]
+
+
+@pytest.fixture(scope="session")
+def ad_dataset():
+    return load_nslkdd(n_train=900, n_test=300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tc_dataset():
+    return load_iot(n_train=900, n_test=300, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bd_dataset():
+    return load_botnet(n_train_flows=150, n_test_flows=60, seed=13)
+
+
+@pytest.fixture(scope="session")
+def trained_ad_net(ad_dataset):
+    """A small trained AD network + its scaler (used by backend tests)."""
+    scaler = StandardScaler().fit(ad_dataset.train_x)
+    net = NeuralNetwork([7, 10, 6, 1], seed=0)
+    net.fit(
+        scaler.transform(ad_dataset.train_x),
+        ad_dataset.train_y.astype(float),
+        epochs=25,
+        batch_size=32,
+        learning_rate=0.01,
+    )
+    return net, scaler

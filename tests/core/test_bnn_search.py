@@ -1,0 +1,87 @@
+"""Tests for BNN as a first-class searchable algorithm family."""
+
+import pytest
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.backends.fpga import FpgaBackend
+from repro.backends.taurus import TaurusBackend
+from repro.core.candidates import select_candidates
+from repro.core.designspace_builder import build_design_space
+from repro.datasets import load_nslkdd
+
+
+@pytest.fixture(scope="module")
+def small_ad():
+    return load_nslkdd(n_train=400, n_test=150, seed=7)
+
+
+def make_spec(dataset, algorithms):
+    @DataLoader
+    def loader():
+        return dataset
+
+    return Model(
+        {
+            "optimization_metric": ["f1"],
+            "algorithm": list(algorithms),
+            "name": "ad",
+            "data_loader": loader,
+        }
+    )
+
+
+class TestBnnCandidates:
+    def test_bnn_accepted_on_taurus(self, small_ad):
+        spec = make_spec(small_ad, ("bnn",))
+        out = select_candidates(
+            spec, small_ad, TaurusBackend(), {"cus": 256, "mus": 256}
+        )
+        assert out == ["bnn"]
+
+    def test_auto_mode_includes_bnn(self, small_ad):
+        spec = make_spec(small_ad, ())
+        out = select_candidates(
+            spec, small_ad, TaurusBackend(), {"cus": 256, "mus": 256}
+        )
+        assert "bnn" in out and "dnn" in out
+
+    def test_bnn_rejected_on_tofino(self, small_ad):
+        from repro.backends.tofino import TofinoBackend
+
+        spec = make_spec(small_ad, ("bnn", "svm"))
+        out = select_candidates(spec, small_ad, TofinoBackend(), {"mats": 16})
+        assert out == ["svm"]
+
+    def test_bnn_space_wider_than_dnn(self, small_ad):
+        limits = {"cus": 256, "mus": 256}
+        dnn_space = build_design_space("dnn", small_ad, TaurusBackend(), limits)
+        bnn_space = build_design_space("bnn", small_ad, TaurusBackend(), limits)
+        assert bnn_space["width"].high > dnn_space["width"].high
+
+
+class TestBnnGenerate:
+    def test_generate_bnn_on_taurus(self, small_ad):
+        platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+        platform.schedule(make_spec(small_ad, ("bnn",)))
+        report = repro.generate(platform, budget=4, warmup=2, train_epochs=10, seed=0)
+        best = report.best
+        assert best.algorithm == "bnn"
+        assert best.objective > 0.5
+        assert "XNOR-popcount" in next(iter(best.sources.values()))
+
+    def test_fpga_bnn_cheaper_than_same_dnn(self, small_ad):
+        from repro.ml.bnn import BinarizedNetwork
+        from repro.ml import NeuralNetwork, StandardScaler
+
+        scaler = StandardScaler().fit(small_ad.train_x)
+        bnn = BinarizedNetwork([7, 16, 1], seed=0)
+        bnn.fit(scaler.transform(small_ad.train_x), small_ad.train_y, epochs=3)
+        dnn = NeuralNetwork([7, 16, 1], seed=0)
+        dnn.fit(scaler.transform(small_ad.train_x),
+                small_ad.train_y.astype(float), epochs=3)
+        fpga = FpgaBackend()
+        bnn_pipe = fpga.compile_model(bnn, scaler=scaler, name="b")
+        dnn_pipe = fpga.compile_model(dnn, scaler=scaler, name="d")
+        assert bnn_pipe.resources["lut_pct"] < dnn_pipe.resources["lut_pct"]
+        assert bnn_pipe.metadata["power_watts"] < dnn_pipe.metadata["power_watts"]

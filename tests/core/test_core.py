@@ -1,0 +1,251 @@
+"""Tests for the optimization core: candidates, design spaces, evaluator,
+fusion, and reports."""
+
+import numpy as np
+import pytest
+
+from repro.alchemy import DataLoader, Model
+from repro.backends.taurus import TaurusBackend, TaurusGrid
+from repro.backends.tofino import TofinoBackend
+from repro.bayesopt.results import Evaluation
+from repro.core.candidates import minimum_footprint_fits, select_candidates
+from repro.core.designspace_builder import (
+    MAX_WIDTH,
+    build_design_space,
+    dnn_topology,
+    dnn_width_bound,
+)
+from repro.core.evaluator import ModelEvaluator
+from repro.core.fusion import fuse_datasets, shared_features, should_fuse
+from repro.core.reports import CompileReport, ModelReport
+from repro.errors import DatasetError, DesignSpaceError, InfeasibleError
+
+
+def make_model(name, dataset, metric="f1", algorithms=("dnn",)):
+    @DataLoader
+    def loader():
+        return dataset
+
+    return Model(
+        {
+            "optimization_metric": [metric],
+            "algorithm": list(algorithms),
+            "name": name,
+            "data_loader": loader,
+        }
+    )
+
+
+class TestCandidates:
+    def test_dnn_on_taurus(self, ad_dataset):
+        model = make_model("ad", ad_dataset)
+        backend = TaurusBackend()
+        out = select_candidates(model, ad_dataset, backend, {"cus": 256, "mus": 256})
+        assert out == ["dnn"]
+
+    def test_unsupported_algorithm_filtered(self, ad_dataset):
+        model = make_model("ad", ad_dataset, algorithms=("dnn", "kmeans"))
+        backend = TaurusBackend()
+        out = select_candidates(model, ad_dataset, backend, {"cus": 256, "mus": 256})
+        assert "kmeans" not in out
+
+    def test_kmeans_needs_v_measure(self, tc_dataset):
+        backend = TofinoBackend()
+        model = make_model("tc", tc_dataset, metric="f1", algorithms=("kmeans",))
+        with pytest.raises(InfeasibleError):
+            select_candidates(model, tc_dataset, backend, {"mats": 8})
+
+    def test_v_measure_excludes_supervised(self, tc_dataset):
+        backend = TofinoBackend()
+        model = make_model(
+            "tc", tc_dataset, metric="v_measure", algorithms=("kmeans", "svm")
+        )
+        out = select_candidates(model, tc_dataset, backend, {"mats": 8})
+        assert out == ["kmeans"]
+
+    def test_nothing_fits_raises(self, ad_dataset):
+        model = make_model("ad", ad_dataset)
+        backend = TaurusBackend()
+        with pytest.raises(InfeasibleError):
+            select_candidates(model, ad_dataset, backend, {"cus": 1, "mus": 1})
+
+    def test_minimum_footprint_tofino(self, tc_dataset):
+        backend = TofinoBackend()
+        assert minimum_footprint_fits("svm", tc_dataset, backend, {"mats": 2})
+        assert not minimum_footprint_fits("svm", tc_dataset, backend, {"mats": 1})
+        assert minimum_footprint_fits("kmeans", tc_dataset, backend, {"mats": 1})
+
+    def test_auto_algorithm_selection(self, tc_dataset):
+        model = make_model("tc", tc_dataset, algorithms=())
+        backend = TofinoBackend()
+        out = select_candidates(model, tc_dataset, backend, {"mats": 16})
+        assert set(out) == {"svm", "decision_tree"}
+
+
+class TestDesignSpaceBuilder:
+    def test_dnn_space_parameters(self, ad_dataset):
+        space = build_design_space("dnn", ad_dataset, TaurusBackend(), {"cus": 256})
+        assert set(space.names) == {
+            "n_layers", "width", "taper", "lr_log10", "batch_size", "optimizer",
+        }
+
+    def test_width_bound_shrinks_with_cus(self, ad_dataset):
+        wide = dnn_width_bound(7, 256)
+        narrow = dnn_width_bound(7, 32)
+        assert narrow < wide <= MAX_WIDTH
+
+    def test_kmeans_space_capped_by_mats(self, tc_dataset):
+        space = build_design_space("kmeans", tc_dataset, TofinoBackend(), {"mats": 3})
+        assert space["n_clusters"].high == 3
+
+    def test_tree_space_capped_by_mats(self, tc_dataset):
+        space = build_design_space(
+            "decision_tree", tc_dataset, TofinoBackend(), {"mats": 5}
+        )
+        assert space["max_depth"].high == 4
+
+    def test_unknown_algorithm_raises(self, ad_dataset):
+        with pytest.raises(DesignSpaceError):
+            build_design_space("gbm", ad_dataset, TaurusBackend(), {})
+
+    def test_dnn_topology_materialization(self):
+        config = {"n_layers": 3, "width": 16, "taper": 0.5}
+        dims = dnn_topology(config, 7, 1)
+        assert dims == [7, 16, 8, 4, 1]
+
+    def test_dnn_topology_min_width_two(self):
+        config = {"n_layers": 4, "width": 4, "taper": 0.5}
+        dims = dnn_topology(config, 7, 1)
+        assert min(dims[1:-1]) >= 2
+
+
+class TestEvaluator:
+    @pytest.fixture
+    def evaluator(self, ad_dataset):
+        model = make_model("ad", ad_dataset)
+        backend = TaurusBackend(TaurusGrid(16, 16))
+        constraints = {
+            "performance": {"throughput": 1, "latency": 500},
+            "resources": {"cus": 256, "mus": 256},
+        }
+        return ModelEvaluator(
+            model, ad_dataset, "dnn", backend, constraints, seed=0, train_epochs=10
+        )
+
+    def _config(self, **overrides):
+        config = {
+            "n_layers": 2, "width": 10, "taper": 0.8, "lr_log10": -2.0,
+            "batch_size": 32, "optimizer": "adam",
+        }
+        config.update(overrides)
+        return config
+
+    def test_feasible_evaluation(self, evaluator):
+        out = evaluator.evaluate(self._config())
+        assert isinstance(out, Evaluation)
+        assert out.feasible
+        assert 0.0 <= out.objective <= 1.0
+        assert out.metrics["resource_cus"] > 0
+
+    def test_oversized_config_infeasible(self, evaluator):
+        out = evaluator.evaluate(self._config(n_layers=10, width=48, taper=1.25))
+        assert not out.feasible
+        assert "violations" in out.metrics
+
+    def test_deterministic(self, evaluator):
+        a = evaluator.evaluate(self._config())
+        b = evaluator.evaluate(self._config())
+        assert a.objective == b.objective
+
+    def test_rebuild_reproduces_objective(self, evaluator, ad_dataset):
+        config = self._config()
+        out = evaluator.evaluate(config)
+        _, pipeline, _ = evaluator.rebuild(config)
+        from repro.ml.metrics import f1_score
+
+        rebuilt = f1_score(ad_dataset.test_y, pipeline.predict(ad_dataset.test_x))
+        assert rebuilt == pytest.approx(out.objective)
+
+    def test_hw_objective_reported_with_float(self, evaluator):
+        out = evaluator.evaluate(self._config())
+        assert "float_objective" in out.metrics
+
+    def test_kmeans_evaluator(self, tc_dataset):
+        model = make_model("tc", tc_dataset, metric="v_measure", algorithms=("kmeans",))
+        backend = TofinoBackend()
+        constraints = {"performance": {}, "resources": {"mats": 8}}
+        evaluator = ModelEvaluator(model, tc_dataset, "kmeans", backend, constraints, seed=0)
+        out = evaluator.evaluate({"n_clusters": 5, "n_init": 2})
+        assert out.feasible
+        assert out.metrics["resource_mats"] == 5
+
+
+class TestFusion:
+    def test_shared_features_by_name(self, ad_dataset):
+        a, b = ad_dataset.split_half(seed=0)
+        assert shared_features(a, b) == list(ad_dataset.feature_names)
+
+    def test_should_fuse_threshold(self, ad_dataset):
+        a, b = ad_dataset.split_half(seed=0)
+        assert should_fuse(a, b)
+        assert not should_fuse(a.subset_features([0, 1]), b.subset_features([2, 3]))
+
+    def test_fused_dataset_sizes(self, ad_dataset):
+        a, b = ad_dataset.split_half(seed=0)
+        fused = fuse_datasets(a, b)
+        assert fused.n_train == a.n_train + b.n_train
+        assert fused.n_test == a.n_test + b.n_test
+
+    def test_label_space_mismatch_raises(self, ad_dataset, tc_dataset):
+        with pytest.raises(DatasetError):
+            fuse_datasets(ad_dataset, tc_dataset)
+
+    def test_positional_fusion_unnamed(self):
+        from repro.datasets import Dataset
+
+        def unnamed(seed):
+            rng = np.random.default_rng(seed)
+            return Dataset(
+                train_x=rng.normal(size=(10, 3)), train_y=np.zeros(10),
+                test_x=rng.normal(size=(4, 3)), test_y=np.array([0, 0, 1, 1]),
+            )
+
+        fused = fuse_datasets(unnamed(0), unnamed(1))
+        assert fused.n_features == 3
+
+
+class TestReports:
+    def test_summary_row(self):
+        from repro.backends.base import PerformanceEstimate
+
+        report = ModelReport(
+            name="ad", algorithm="dnn", best_config={}, objective=0.9,
+            float_objective=0.91, metric="f1", feasible=True,
+            resources={"cus": 10, "mus": 20},
+            performance=PerformanceEstimate(1.0, 25.0),
+            n_params=100, sources={},
+        )
+        row = report.summary_row()
+        assert "f1=0.9000" in row and "cus=10" in row
+
+    def test_compile_report_best_single_model(self):
+        from repro.backends.base import PerformanceEstimate
+
+        model_report = ModelReport(
+            name="ad", algorithm="dnn", best_config={}, objective=0.9,
+            float_objective=0.9, metric="f1", feasible=True, resources={},
+            performance=PerformanceEstimate(1.0, 25.0), n_params=1, sources={},
+        )
+        report = CompileReport(
+            target="taurus", constraints={}, schedule="ad",
+            models={"ad": model_report},
+        )
+        assert report.best is model_report
+        assert "taurus" in report.summary()
+
+    def test_best_none_for_multi_model(self):
+        report = CompileReport(
+            target="taurus", constraints={}, schedule="a | b",
+            models={"a": None, "b": None},
+        )
+        assert report.best is None

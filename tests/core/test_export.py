@@ -1,0 +1,71 @@
+"""Tests for report export/import."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.core.export import export_report, load_report_dict, report_to_dict
+from repro.datasets import load_nslkdd
+from repro.errors import HomunculusError
+
+
+@pytest.fixture(scope="module")
+def report():
+    dataset = load_nslkdd(n_train=300, n_test=120, seed=7)
+
+    @DataLoader
+    def loader():
+        return dataset
+
+    spec = Model({"optimization_metric": ["f1"], "algorithm": ["dnn"],
+                  "name": "ad", "data_loader": loader})
+    platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+    platform.schedule(spec)
+    return repro.generate(platform, budget=3, warmup=2, train_epochs=6, seed=0)
+
+
+class TestReportToDict:
+    def test_structure(self, report):
+        doc = report_to_dict(report)
+        assert doc["target"] == "taurus"
+        assert "ad" in doc["models"]
+        model = doc["models"]["ad"]
+        assert model["algorithm"] == "dnn"
+        assert 0.0 <= model["objective"] <= 1.0
+        assert model["iterations"] == 3
+
+    def test_json_serializable(self, report):
+        json.dumps(report_to_dict(report))  # must not raise
+
+
+class TestExport:
+    def test_bundle_layout(self, report, tmp_path):
+        path = export_report(report, str(tmp_path))
+        assert os.path.exists(path)
+        model_dir = tmp_path / "ad"
+        sources = list(model_dir.iterdir())
+        assert len(sources) == 1
+        assert sources[0].suffix == ".scala"
+        assert "@spatial" in sources[0].read_text()
+
+    def test_round_trip(self, report, tmp_path):
+        path = export_report(report, str(tmp_path))
+        loaded = load_report_dict(path)
+        assert loaded == report_to_dict(report)
+
+    def test_export_rejects_non_report(self, tmp_path):
+        with pytest.raises(HomunculusError):
+            export_report({"not": "a report"}, str(tmp_path))
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(HomunculusError):
+            load_report_dict(str(tmp_path / "nope.json"))
+
+    def test_load_malformed_raises(self, tmp_path):
+        bad = tmp_path / "report.json"
+        bad.write_text("{broken")
+        with pytest.raises(HomunculusError):
+            load_report_dict(str(bad))

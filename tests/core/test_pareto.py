@@ -1,0 +1,66 @@
+"""Tests for the accuracy-vs-resources Pareto search."""
+
+import pytest
+
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.core.pareto import format_front, search_pareto
+from repro.datasets import load_iot
+from repro.errors import SpecificationError
+
+
+@pytest.fixture(scope="module")
+def tc_small():
+    return load_iot(n_train=500, n_test=200, seed=11)
+
+
+def make_spec(dataset):
+    @DataLoader
+    def loader():
+        return dataset
+
+    return Model(
+        {
+            "optimization_metric": ["f1"],
+            "algorithm": ["dnn"],
+            "name": "tc",
+            "data_loader": loader,
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def frontier(tc_small):
+    platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+    return search_pareto(
+        make_spec(tc_small), platform, budget=8, warmup=4, train_epochs=8, seed=0
+    )
+
+
+class TestSearchPareto:
+    def test_front_entries_feasible(self, frontier):
+        assert frontier["front"]
+        assert all(e.feasible for e in frontier["front"])
+
+    def test_front_sorted_and_nondominated(self, frontier):
+        rk, ok = frontier["resource_key"], frontier["objective_key"]
+        resources = [e.metrics[rk] for e in frontier["front"]]
+        objectives = [e.metrics[ok] for e in frontier["front"]]
+        assert resources == sorted(resources)
+        # Along the sorted frontier the objective must strictly improve.
+        assert all(a < b for a, b in zip(objectives, objectives[1:]))
+
+    def test_history_budget(self, frontier):
+        assert len(frontier["history"]) == 8
+
+    def test_resource_key_matches_target(self, frontier):
+        assert frontier["resource_key"] == "resource_cus"
+
+    def test_format_front(self, frontier):
+        text = format_front(frontier)
+        assert "Objective" in text
+        assert "cus" in text
+
+    def test_invalid_algorithm_rejected(self, tc_small):
+        platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+        with pytest.raises(SpecificationError):
+            search_pareto(make_spec(tc_small), platform, algorithm="kmeans", budget=2)

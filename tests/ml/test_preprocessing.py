@@ -1,0 +1,168 @@
+"""Tests for scalers, encoders, and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 2, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(DatasetError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(DatasetError):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(DatasetError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+    def test_1d_input_promoted(self):
+        Z = StandardScaler().fit_transform(np.arange(10.0))
+        assert Z.shape == (10, 1)
+
+
+class TestMinMaxScaler:
+    def test_output_in_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 100, (200, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_custom_range(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_bad_range_raises(self):
+        with pytest.raises(DatasetError):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_constant_feature_safe(self):
+        X = np.full((5, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_unfit_raises(self):
+        with pytest.raises(DatasetError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_contiguous_codes(self):
+        y = np.array(["b", "a", "c", "a"])
+        codes = LabelEncoder().fit_transform(y)
+        assert set(codes) == {0, 1, 2}
+
+    def test_inverse_round_trip(self):
+        y = np.array([5, 9, 5, 7])
+        enc = LabelEncoder().fit(y)
+        assert np.array_equal(enc.inverse_transform(enc.transform(y)), y)
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(DatasetError):
+            enc.transform(np.array([3]))
+
+    def test_unfit_raises(self):
+        with pytest.raises(DatasetError):
+            LabelEncoder().transform(np.array([1]))
+
+    def test_inverse_out_of_range_raises(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(DatasetError):
+            enc.inverse_transform(np.array([5]))
+
+
+class TestOneHotEncoder:
+    def test_shape_and_rows_sum_to_one(self):
+        y = np.array([0, 2, 1, 2])
+        onehot = OneHotEncoder().fit_transform(y)
+        assert onehot.shape == (4, 3)
+        assert np.allclose(onehot.sum(axis=1), 1.0)
+
+    def test_explicit_n_classes(self):
+        onehot = OneHotEncoder(n_classes=5).fit_transform(np.array([0, 1]))
+        assert onehot.shape == (2, 5)
+
+    def test_inverse(self):
+        y = np.array([0, 2, 1])
+        onehot = OneHotEncoder().fit_transform(y)
+        assert np.array_equal(OneHotEncoder.inverse_transform(onehot), y)
+
+    def test_out_of_range_raises(self):
+        enc = OneHotEncoder(n_classes=2).fit(np.array([0, 1]))
+        with pytest.raises(DatasetError):
+            enc.transform(np.array([2]))
+
+    def test_bad_n_classes_raises(self):
+        with pytest.raises(DatasetError):
+            OneHotEncoder(n_classes=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100.0).reshape(-1, 1)
+        y = np.arange(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert Xte.shape[0] == 25 and Xtr.shape[0] == 75
+        assert ytr.shape[0] == 75 and yte.shape[0] == 25
+
+    def test_partition_is_exact(self):
+        X = np.arange(40.0).reshape(-1, 1)
+        y = np.arange(40)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.3, seed=1)
+        merged = np.sort(np.concatenate([Xtr.ravel(), Xte.ravel()]))
+        assert np.array_equal(merged, X.ravel())
+
+    def test_stratify_keeps_class_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 2))
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0, stratify=True)
+        assert abs(np.mean(ytr == 1) - 0.2) < 0.05
+        assert abs(np.mean(yte == 1) - 0.2) < 0.05
+
+    def test_deterministic_under_seed(self):
+        X = np.arange(30.0).reshape(-1, 1)
+        y = np.arange(30)
+        a = train_test_split(X, y, seed=3)[0]
+        b = train_test_split(X, y, seed=3)[0]
+        assert np.array_equal(a, b)
+
+    def test_bad_test_size_raises(self):
+        with pytest.raises(DatasetError):
+            train_test_split(np.ones((5, 1)), np.ones(5), test_size=1.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(DatasetError):
+            train_test_split(np.ones((5, 1)), np.ones(4))

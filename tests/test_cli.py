@@ -1,0 +1,64 @@
+"""Tests for the command-line compiler."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_nslkdd, save_csv_dataset
+
+
+class TestParser:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_app_and_train_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--app", "ad", "--train", "x.csv"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--app", "ad"])
+        assert args.target == "taurus"
+        assert args.budget == 20
+        assert args.metric == "f1"
+
+    def test_repeatable_algorithm(self):
+        args = build_parser().parse_args(
+            ["--app", "tc", "--algorithm", "svm", "--algorithm", "decision_tree"]
+        )
+        assert args.algorithm == ["svm", "decision_tree"]
+
+
+class TestMain:
+    def test_train_without_test_errors(self, capsys):
+        assert main(["--train", "x.csv"]) == 2
+        assert "requires --test" in capsys.readouterr().err
+
+    def test_csv_compile_end_to_end(self, tmp_path, capsys):
+        dataset = load_nslkdd(n_train=250, n_test=100, seed=7)
+        train_csv, test_csv = save_csv_dataset(dataset, str(tmp_path), prefix="ad")
+        out_dir = tmp_path / "bundle"
+        code = main(
+            [
+                "--train", train_csv,
+                "--test", test_csv,
+                "--name", "csv_ad",
+                "--budget", "3",
+                "--out", str(out_dir),
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "csv_ad" in stdout
+        assert os.path.exists(out_dir / "report.json")
+        assert os.path.exists(out_dir / "csv_ad")
+
+    def test_builtin_app_tofino(self, capsys):
+        code = main(
+            ["--app", "tc", "--target", "tofino",
+             "--algorithm", "decision_tree", "--budget", "3", "--seed", "0"]
+        )
+        assert code == 0
+        assert "decision_tree" in capsys.readouterr().out

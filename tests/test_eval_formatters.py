@@ -1,0 +1,125 @@
+"""Tests for experiment formatters and the baseline trainer."""
+
+import numpy as np
+import pytest
+
+from repro.eval.baselines import (
+    BASELINE_TOPOLOGIES,
+    BASELINE_TRAINING,
+    train_baseline_dnn,
+)
+from repro.eval.experiments import (
+    format_fig4,
+    format_fig6,
+    format_fig7,
+    format_reaction_time,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+
+
+class TestBaselines:
+    def test_topologies_match_paper(self):
+        # The paper states these hidden stacks explicitly (§5).
+        assert BASELINE_TOPOLOGIES["tc"] == (10, 10, 5)
+        assert BASELINE_TOPOLOGIES["bd"] == (10, 10, 10, 10)
+
+    def test_training_hyperparams_fixed(self):
+        assert BASELINE_TRAINING["epochs"] == 30
+        assert BASELINE_TRAINING["optimizer"] == "adam"
+
+    def test_binary_head_for_ad(self, ad_dataset):
+        net, scaler = train_baseline_dnn("ad", ad_dataset, seed=0)
+        assert net.topology == [7, 12, 8, 1]
+        assert scaler.mean_ is not None
+
+    def test_multiclass_head_for_tc(self, tc_dataset):
+        net, _ = train_baseline_dnn("tc", tc_dataset, seed=0)
+        assert net.topology == [7, 10, 10, 5, 5]
+        assert net.output_activation == "softmax"
+
+    def test_deterministic(self, ad_dataset):
+        a, _ = train_baseline_dnn("ad", ad_dataset, seed=3)
+        b, _ = train_baseline_dnn("ad", ad_dataset, seed=3)
+        for (wa, ba), (wb, bb) in zip(a.get_weights(), b.get_weights()):
+            assert np.array_equal(wa, wb)
+            assert np.array_equal(ba, bb)
+
+    def test_unknown_app_raises(self, ad_dataset):
+        with pytest.raises(KeyError):
+            train_baseline_dnn("nope", ad_dataset)
+
+
+class TestFormatters:
+    def test_table2(self):
+        rows = [
+            {"app": "ad", "variant": "baseline", "features": 7, "n_params": 203,
+             "f1": 71.10, "cus": 24, "mus": 48},
+            {"app": "ad", "variant": "homunculus", "features": 7, "n_params": 254,
+             "f1": 83.10, "cus": 41, "mus": 67},
+        ]
+        text = format_table2(rows)
+        assert "Base-AD" in text and "Hom-AD" in text
+        assert "83.10" in text
+
+    def test_table3(self):
+        rows = [{"strategy": "DNN > DNN", "cus": 24, "mus": 24,
+                 "n_models": 2, "n_distinct": 1}]
+        text = format_table3(rows)
+        assert "DNN > DNN" in text and "24" in text
+
+    def test_table4(self):
+        rows = [{"application": "AD: Fused", "pcus": 48, "pmus": 83, "f1": 80.0}]
+        text = format_table4(rows)
+        assert "AD: Fused" in text and "48" in text
+
+    def test_table5(self):
+        rows = [{"application": "Loopback", "model": "-", "lut_pct": 5.36,
+                 "ff_pct": 3.64, "bram_pct": 4.15, "power_w": 15.131}]
+        text = format_table5(rows)
+        assert "Loopback" in text and "15.131" in text
+
+    def test_fig4(self):
+        result = {
+            "iterations": [1, 2],
+            "f1_scores": [50.0, 80.0],
+            "feasible": [True, False],
+            "incumbent": [50.0, 50.0],
+        }
+        text = format_fig4(result)
+        assert "Iter" in text and "False" in text
+
+    def test_fig4_handles_no_incumbent(self):
+        result = {
+            "iterations": [1],
+            "f1_scores": [10.0],
+            "feasible": [False],
+            "incumbent": [None],
+        }
+        assert "-" in format_fig4(result)
+
+    def test_fig6(self):
+        result = {
+            "benign_pl": [1.0], "malicious_pl": [2.0],
+            "benign_ipt": [3.0], "malicious_ipt": [4.0],
+        }
+        text = format_fig6(result)
+        assert "packet-length" in text and "inter-arrival" in text
+
+    def test_fig7(self):
+        result = {"series": {"KMeans2": {"mats": 2, "v_scores": [50.0],
+                                         "best_v": 50.0, "n_clusters": 2,
+                                         "used_mats": 2}}}
+        text = format_fig7(result)
+        assert "KMeans2" in text and "50.0" in text
+
+    def test_reaction_time(self):
+        result = {
+            "curve": [{"packets_seen": 1, "f1": 70.0, "n_samples": 100}],
+            "per_packet_latency_ns": 42.0,
+            "flow_completion_latency_s": 3600.0,
+        }
+        text = format_reaction_time(result)
+        assert "42 ns" in text and "3600 s" in text

@@ -1,0 +1,192 @@
+"""End-to-end integration tests: full ``generate()`` runs per backend.
+
+These use tiny datasets and small budgets; they exercise the complete
+frontend -> optimization -> backend path, including the model/hardware
+equivalence checks that anchor the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.alchemy import DataLoader, Model, Platforms
+from repro.core.reports import CompileReport
+from repro.datasets import load_iot, load_nslkdd
+from repro.datasets.iot import CLUSTERING_FEATURES
+from repro.errors import SpecificationError
+
+
+@pytest.fixture(scope="module")
+def small_ad():
+    return load_nslkdd(n_train=500, n_test=200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def small_tc():
+    return load_iot(n_train=500, n_test=200, seed=11)
+
+
+def make_spec(name, dataset, metric="f1", algorithms=("dnn",)):
+    @DataLoader
+    def loader():
+        return dataset
+
+    return Model(
+        {
+            "optimization_metric": [metric],
+            "algorithm": list(algorithms),
+            "name": name,
+            "data_loader": loader,
+        }
+    )
+
+
+class TestGenerateTaurus:
+    @pytest.fixture(scope="class")
+    def report(self, small_ad):
+        platform = Platforms.Taurus().constrain(
+            performance={"throughput": 1, "latency": 500},
+            resources={"rows": 16, "cols": 16},
+        )
+        platform.schedule(make_spec("ad", small_ad))
+        return repro.generate(platform, budget=6, warmup=3, train_epochs=12, seed=0)
+
+    def test_report_shape(self, report):
+        assert isinstance(report, CompileReport)
+        assert report.target == "taurus"
+        assert report.feasible
+        assert report.best is not None
+
+    def test_best_respects_constraints(self, report):
+        best = report.best
+        assert best.resources["cus"] <= 256
+        assert best.resources["mus"] <= 256
+        assert best.performance.throughput_gpps >= 1.0
+        assert best.performance.latency_ns <= 500
+
+    def test_sources_emitted(self, report):
+        source = next(iter(report.best.sources.values()))
+        assert "@spatial" in source
+
+    def test_objective_reasonable(self, report):
+        assert report.best.objective > 0.6
+
+    def test_history_recorded(self, report):
+        assert len(report.best.optimization.history) == 6
+
+    def test_deterministic(self, small_ad):
+        def run():
+            platform = Platforms.Taurus().constrain(
+                resources={"rows": 16, "cols": 16}
+            )
+            platform.schedule(make_spec("ad", small_ad))
+            return repro.generate(platform, budget=4, warmup=2, train_epochs=8, seed=3)
+
+        a, b = run(), run()
+        assert a.best.best_config == b.best.best_config
+        assert a.best.objective == b.best.objective
+
+
+class TestGenerateTofino:
+    def test_supervised_search(self, small_tc):
+        platform = Platforms.Tofino().constrain(resources={"mats": 12})
+        platform.schedule(
+            make_spec("tc", small_tc, algorithms=("decision_tree", "svm"))
+        )
+        report = repro.generate(platform, budget=5, warmup=3, seed=0)
+        best = report.best
+        assert best.algorithm in ("decision_tree", "svm")
+        assert best.resources["mats"] <= 12
+        assert ".p4" in next(iter(best.sources))
+
+    def test_kmeans_respects_mat_budget(self, small_tc):
+        clustering = small_tc.subset_features(list(CLUSTERING_FEATURES))
+        platform = Platforms.Tofino().constrain(resources={"mats": 3})
+        platform.schedule(
+            make_spec("tc_km", clustering, metric="v_measure", algorithms=("kmeans",))
+        )
+        report = repro.generate(platform, budget=5, warmup=3, seed=0)
+        best = report.best
+        assert best.best_config["n_clusters"] <= 3
+        assert best.resources["mats"] <= 3
+
+
+class TestGenerateFpga:
+    def test_fpga_target(self, small_ad):
+        platform = Platforms.FPGA()
+        platform.schedule(make_spec("ad", small_ad))
+        report = repro.generate(platform, budget=4, warmup=2, train_epochs=10, seed=0)
+        best = report.best
+        assert "lut_pct" in best.resources
+        assert best.metadata["power_watts"] > 15.0
+
+
+class TestMultiModel:
+    def test_two_models_summed_resources(self, small_ad, small_tc):
+        platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+        a = make_spec("ad", small_ad)
+        b = make_spec("tc", small_tc)
+        platform.schedule(a | b)
+        report = repro.generate(platform, budget=4, warmup=2, train_epochs=8, seed=0)
+        assert set(report.models) == {"ad", "tc"}
+        total = report.total_resources["cus"]
+        assert total == sum(r.resources["cus"] for r in report.models.values())
+
+    def test_fusion_collapses_compatible_models(self, small_ad):
+        part_a, part_b = small_ad.split_half(seed=0)
+        platform = Platforms.Taurus().constrain(resources={"rows": 16, "cols": 16})
+        platform.schedule(make_spec("ad1", part_a) | make_spec("ad2", part_b))
+        report = repro.generate(
+            platform, budget=4, warmup=2, train_epochs=8, seed=0, fuse=True
+        )
+        assert len(report.models) == 1  # fused into one model
+
+
+class TestErrors:
+    def test_generate_requires_schedule(self):
+        with pytest.raises(SpecificationError):
+            repro.generate(Platforms.Taurus())
+
+    def test_generate_requires_platform(self):
+        with pytest.raises(SpecificationError):
+            repro.generate("taurus")
+
+    def test_bad_budget(self, small_ad):
+        platform = Platforms.Taurus()
+        platform.schedule(make_spec("ad", small_ad))
+        with pytest.raises(SpecificationError):
+            repro.generate(platform, budget=0)
+
+
+class TestHardwareEquivalence:
+    """The lowered pipelines must agree with the trained float models."""
+
+    def test_taurus_matches_trained_model(self, small_ad):
+        from repro.backends.taurus import TaurusBackend
+        from repro.ml import NeuralNetwork, StandardScaler
+
+        scaler = StandardScaler().fit(small_ad.train_x)
+        net = NeuralNetwork([7, 10, 1], seed=0)
+        net.fit(scaler.transform(small_ad.train_x), small_ad.train_y.astype(float),
+                epochs=15, learning_rate=0.01)
+        pipe = TaurusBackend().compile_model(net, scaler=scaler)
+        agreement = np.mean(
+            pipe.predict(small_ad.test_x)
+            == net.predict(scaler.transform(small_ad.test_x))
+        )
+        assert agreement > 0.97
+
+    def test_tofino_tree_matches_trained_model(self, small_tc):
+        from repro.backends.tofino import TofinoBackend
+        from repro.ml import DecisionTreeClassifier, StandardScaler
+
+        scaler = StandardScaler().fit(small_tc.train_x)
+        tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(
+            scaler.transform(small_tc.train_x), small_tc.train_y
+        )
+        pipe = TofinoBackend().compile_model(tree, scaler=scaler)
+        agreement = np.mean(
+            pipe.predict(small_tc.test_x)
+            == tree.predict(scaler.transform(small_tc.test_x))
+        )
+        assert agreement > 0.99

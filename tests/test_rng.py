@@ -1,0 +1,64 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, derive, spawn
+
+
+class TestAsGenerator:
+    def test_accepts_int_seed(self):
+        gen = as_generator(7)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_generator(7).integers(0, 1000, 10)
+        b = as_generator(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(as_generator(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_streams_differ(self):
+        children = spawn(as_generator(0), 2)
+        a = children[0].integers(0, 10**9)
+        b = children[1].integers(0, 10**9)
+        assert a != b
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_spawn_deterministic(self):
+        a = spawn(as_generator(3), 3)[1].integers(0, 10**9)
+        b = spawn(as_generator(3), 3)[1].integers(0, 10**9)
+        assert a == b
+
+
+class TestDerive:
+    def test_derive_deterministic_from_int(self):
+        a = derive(5, 10).integers(0, 10**9)
+        b = derive(5, 10).integers(0, 10**9)
+        assert a == b
+
+    def test_derive_salt_changes_stream(self):
+        a = derive(5, 10).integers(0, 10**9)
+        b = derive(5, 11).integers(0, 10**9)
+        assert a != b
+
+    def test_derive_from_none(self):
+        assert isinstance(derive(None, 1), np.random.Generator)
+
+    def test_derive_from_generator(self):
+        gen = np.random.default_rng(0)
+        assert isinstance(derive(gen, 1), np.random.Generator)
