@@ -10,6 +10,9 @@ package implements that stack from scratch:
   surrogate models,
 * :mod:`repro.bayesopt.acquisition` — EI, UCB, probability of feasibility,
 * :mod:`repro.bayesopt.optimizer` — the optimization loop,
+* :mod:`repro.bayesopt.parallel` — batched evaluation over a worker pool,
+  bit-for-bit equivalent to the serial loop,
+* :mod:`repro.bayesopt.cache` — persistent config-keyed evaluation memo,
 * :mod:`repro.bayesopt.results` — evaluation history and regret curves.
 """
 
@@ -18,7 +21,9 @@ from repro.bayesopt.acquisition import (
     probability_of_feasibility,
     upper_confidence_bound,
 )
+from repro.bayesopt.cache import CachedObjective, EvaluationCache
 from repro.bayesopt.optimizer import BayesianOptimizer, RandomSearchOptimizer
+from repro.bayesopt.parallel import ParallelEvaluator
 from repro.bayesopt.results import Evaluation, OptimizationResult
 from repro.bayesopt.space import (
     Categorical,
@@ -45,6 +50,9 @@ __all__ = [
     "probability_of_feasibility",
     "BayesianOptimizer",
     "RandomSearchOptimizer",
+    "ParallelEvaluator",
+    "EvaluationCache",
+    "CachedObjective",
     "Evaluation",
     "OptimizationResult",
 ]

@@ -1,0 +1,192 @@
+"""A persistent, config-keyed cache of black-box evaluations.
+
+Every candidate run in the Figure-2 flow pays the full train -> lower ->
+score cost, even when the optimizer resuggests a configuration it has
+already tried (common near the end of small discrete spaces, and by
+design in the speculative batches of :mod:`repro.bayesopt.parallel`).
+:class:`EvaluationCache` memoizes those calls: configurations are keyed
+by a canonical string of their sorted items, hits return the stored
+:class:`~repro.bayesopt.results.Evaluation` instantly, and the whole
+table can spill to a versioned JSON file so later searches warm-start
+from earlier ones (the JSON analogue of the binary trace format in
+:mod:`repro.netsim.persistence`).
+
+The cache is thread-safe: the parallel evaluation engine reads and
+writes it from pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+
+from repro.bayesopt.results import Evaluation, coerce_evaluation
+from repro.errors import DesignSpaceError
+
+#: File format tag and version, checked on load (persistence convention).
+FORMAT = "homunculus-evaluation-cache"
+VERSION = 1
+
+
+def config_key(config: dict) -> str:
+    """Canonical order-independent identity for a configuration.
+
+    Mirrors the serialization used by the evaluator's seed salt: sorted
+    ``name=repr(value)`` pairs, so two dicts with equal items share a key
+    regardless of insertion order.
+    """
+    return "|".join(f"{k}={config[k]!r}" for k in sorted(config))
+
+
+def _jsonable(value):
+    """Coerce numpy scalars to plain Python for JSON serialization."""
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class EvaluationCache:
+    """In-memory evaluation memo with optional JSON spill.
+
+    Parameters
+    ----------
+    path:
+        optional spill file.  When given and the file exists, entries are
+        loaded eagerly; :meth:`save` (with no argument) writes back to it.
+    """
+
+    def __init__(self, path: "str | None" = None) -> None:
+        self._entries: dict[str, Evaluation] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.path = path
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    # -- core mapping --------------------------------------------------------
+    def get(self, config: dict) -> "Evaluation | None":
+        """Return the cached evaluation for ``config``, or ``None``."""
+        key = config_key(config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, config: dict, evaluation: Evaluation) -> None:
+        """Store (or overwrite) the evaluation for ``config``."""
+        with self._lock:
+            self._entries[config_key(config)] = evaluation
+
+    def __contains__(self, config: dict) -> bool:
+        with self._lock:
+            return config_key(config) in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss counters plus current size."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    # -- JSON spill ----------------------------------------------------------
+    def save(self, path: "str | None" = None) -> str:
+        """Write all entries to ``path`` (default: the constructor path)."""
+        path = path if path is not None else self.path
+        if path is None:
+            raise DesignSpaceError("EvaluationCache.save needs a path")
+        with self._lock:
+            entries = [
+                {
+                    "config": _jsonable(e.config),
+                    "objective": e.objective,
+                    "feasible": e.feasible,
+                    "metrics": _jsonable(e.metrics),
+                }
+                for e in self._entries.values()
+            ]
+        doc = {"format": FORMAT, "version": VERSION, "entries": entries}
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=1)
+        return path
+
+    def load(self, path: "str | None" = None) -> int:
+        """Merge entries from ``path``; returns how many were loaded."""
+        path = path if path is not None else self.path
+        if path is None:
+            raise DesignSpaceError("EvaluationCache.load needs a path")
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            raise DesignSpaceError(f"cannot read evaluation cache {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise DesignSpaceError(f"malformed evaluation cache {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+            raise DesignSpaceError(f"{path} is not a Homunculus evaluation cache")
+        if doc.get("version") != VERSION:
+            raise DesignSpaceError(
+                f"unsupported evaluation-cache version {doc.get('version')!r}"
+            )
+        count = 0
+        with self._lock:
+            for entry in doc.get("entries", []):
+                evaluation = Evaluation(
+                    config=dict(entry["config"]),
+                    objective=float(entry["objective"]),
+                    feasible=bool(entry["feasible"]),
+                    metrics=dict(entry.get("metrics", {})),
+                )
+                self._entries[config_key(evaluation.config)] = evaluation
+                count += 1
+        return count
+
+
+class CachedObjective:
+    """Wrap any objective callable with an :class:`EvaluationCache`.
+
+    ``CachedObjective(f, cache)`` behaves like ``f`` but serves duplicate
+    configurations from the cache, so a BO loop (or a user probing configs
+    by hand) never pays twice for the same point.  ``calls`` counts the
+    underlying invocations actually made.
+    """
+
+    def __init__(self, objective_fn, cache: "EvaluationCache | None" = None) -> None:
+        self.objective_fn = objective_fn
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.calls = 0
+
+    def __call__(self, config: dict) -> Evaluation:
+        cached = self.cache.get(config)
+        if cached is not None:
+            return cached
+        self.calls += 1
+        outcome = coerce_evaluation(config, self.objective_fn(config))
+        self.cache.put(config, outcome)
+        return outcome

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.errors import DesignSpaceError
+
 
 @dataclass
 class Evaluation:
@@ -24,6 +28,21 @@ class Evaluation:
     def __post_init__(self) -> None:
         self.objective = float(self.objective)
         self.feasible = bool(self.feasible)
+
+
+def coerce_evaluation(config: dict, outcome) -> Evaluation:
+    """Normalize a black-box return value into an :class:`Evaluation`.
+
+    Objective callables may return a full :class:`Evaluation` or a bare
+    number (treated as a feasible objective); anything else is an error.
+    """
+    if isinstance(outcome, Evaluation):
+        return outcome
+    if isinstance(outcome, (int, float, np.floating, np.integer)):
+        return Evaluation(config=config, objective=float(outcome), feasible=True)
+    raise DesignSpaceError(
+        f"objective function must return Evaluation or number, got {type(outcome)!r}"
+    )
 
 
 @dataclass

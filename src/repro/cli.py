@@ -56,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--latency", type=float, default=None, help="max ns")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None, help="deployment bundle directory")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel evaluation workers (families search concurrently; "
+             "results are identical to --workers 1)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="BO configurations evaluated per batch (default: --workers)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for persistent evaluation-cache JSON spills",
+    )
     return parser
 
 
@@ -63,6 +76,12 @@ def main(argv: "list | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
 
     if args.app:
@@ -94,7 +113,14 @@ def main(argv: "list | None" = None) -> int:
         platform.constrain(performance=performance)
     platform.schedule(spec)
 
-    report = repro.generate(platform, budget=args.budget, seed=args.seed)
+    report = repro.generate(
+        platform,
+        budget=args.budget,
+        seed=args.seed,
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        cache_dir=args.cache_dir,
+    )
     print(report.summary())
     best = report.best
     if best is not None:

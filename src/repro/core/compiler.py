@@ -15,8 +15,14 @@ the device and satisfy the throughput-consistency rule of §3.2.1.
 
 from __future__ import annotations
 
+import hashlib
+import os
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.alchemy.platforms import PlatformSpec
+from repro.bayesopt.cache import EvaluationCache
 from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.bayesopt.parallel import ParallelEvaluator
 from repro.core.candidates import select_candidates
 from repro.core.designspace_builder import build_design_space
 from repro.core.evaluator import ModelEvaluator
@@ -28,6 +34,86 @@ from repro.rng import derive
 __all__ = ["generate", "CompileReport"]
 
 
+def _search_one_family(
+    model_spec,
+    dataset,
+    backend,
+    constraints: dict,
+    algorithm: str,
+    index: int,
+    budget: int,
+    warmup: int,
+    train_epochs: int,
+    seed: int,
+    n_workers: int,
+    batch_size: "int | None",
+    cache_dir: "str | None",
+):
+    """One constrained-BO loop for one algorithm family.
+
+    Returns ``(evaluator, result)``.  The family seed is derived from the
+    family index (not the execution order), so results are identical no
+    matter how many families run concurrently.
+    """
+    limits = constraints.get("resources", {})
+    space = build_design_space(algorithm, dataset, backend, limits)
+    cache_path = None
+    if cache_dir:
+        # Spill files are keyed by the evaluation context, not just the
+        # model/family name: an Evaluation is only reusable if it was
+        # produced under the same seed, training length, backend, and
+        # constraints on the same-shaped dataset.  A run with any of
+        # those changed gets a fresh spill instead of stale results.
+        context = "|".join(
+            [
+                model_spec.name,
+                algorithm,
+                str(seed),
+                str(train_epochs),
+                backend.name,
+                repr(sorted(constraints.items())),
+                f"{dataset.train_x.shape}x{dataset.test_x.shape}",
+            ]
+        )
+        digest = hashlib.md5(context.encode()).hexdigest()[:10]
+        cache_path = os.path.join(
+            cache_dir, f"{model_spec.name}_{algorithm}_{digest}.json"
+        )
+    cache = EvaluationCache(path=cache_path)
+    evaluator = ModelEvaluator(
+        model_spec,
+        dataset,
+        algorithm,
+        backend,
+        constraints,
+        seed=seed,
+        train_epochs=train_epochs,
+        cache=cache,
+    )
+    family_seed = derive(seed, 1000 + index)
+    if n_workers > 1 or (batch_size is not None and batch_size > 1):
+        engine = ParallelEvaluator(
+            space,
+            evaluator.evaluate,
+            n_workers=n_workers,
+            batch_size=batch_size,
+            warmup=min(warmup, budget),
+            seed=family_seed,
+            cache=cache,
+        )
+    else:
+        engine = BayesianOptimizer(
+            space,
+            evaluator.evaluate,
+            warmup=min(warmup, budget),
+            seed=family_seed,
+        )
+    result = engine.run(budget)
+    if cache_path is not None:
+        cache.save()
+    return evaluator, result
+
+
 def _search_one_model(
     model_spec,
     dataset,
@@ -37,32 +123,43 @@ def _search_one_model(
     warmup: int,
     train_epochs: int,
     seed: int,
+    n_workers: int = 1,
+    batch_size: "int | None" = None,
+    cache_dir: "str | None" = None,
 ) -> ModelReport:
-    """Run candidate selection + BO for one model; build its final report."""
+    """Run candidate selection + BO for one model; build its final report.
+
+    With ``n_workers > 1`` the candidate algorithm families run
+    concurrently (the paper's "parallel candidate runs").  The worker
+    budget is divided across the concurrent families — ``n_workers``
+    bounds the total evaluation concurrency, not the per-family width —
+    so the compile never oversubscribes the machine.
+    """
     limits = constraints.get("resources", {})
     candidates = select_candidates(model_spec, dataset, backend, limits)
+    family_slots = min(n_workers, len(candidates))
+    per_family_workers = max(1, n_workers // family_slots) if family_slots else n_workers
+
+    def search(indexed):
+        index, algorithm = indexed
+        return _search_one_family(
+            model_spec, dataset, backend, constraints, algorithm, index,
+            budget=budget, warmup=warmup, train_epochs=train_epochs, seed=seed,
+            n_workers=per_family_workers, batch_size=batch_size,
+            cache_dir=cache_dir,
+        )
+
+    if n_workers > 1 and len(candidates) > 1:
+        with ThreadPoolExecutor(max_workers=family_slots) as pool:
+            searched = list(pool.map(search, enumerate(candidates)))
+    else:
+        searched = [search(item) for item in enumerate(candidates)]
+
     candidate_results: dict = {}
     best_algorithm = None
     best_evaluator = None
     best_eval = None
-    for index, algorithm in enumerate(candidates):
-        space = build_design_space(algorithm, dataset, backend, limits)
-        evaluator = ModelEvaluator(
-            model_spec,
-            dataset,
-            algorithm,
-            backend,
-            constraints,
-            seed=seed,
-            train_epochs=train_epochs,
-        )
-        optimizer = BayesianOptimizer(
-            space,
-            evaluator.evaluate,
-            warmup=min(warmup, budget),
-            seed=derive(seed, 1000 + index),
-        )
-        result = optimizer.run(budget)
+    for algorithm, (evaluator, result) in zip(candidates, searched):
         candidate_results[algorithm] = result
         incumbent = result.best
         if incumbent is not None and (
@@ -142,6 +239,9 @@ def generate(
     train_epochs: int = 30,
     seed: int = 0,
     fuse: bool = False,
+    n_workers: int = 1,
+    batch_size: "int | None" = None,
+    cache_dir: "str | None" = None,
 ) -> CompileReport:
     """Compile every model scheduled on ``platform`` (the paper's
     ``homunculus.generate``).
@@ -157,6 +257,18 @@ def generate(
         global determinism root; every training/search RNG derives from it.
     fuse:
         attempt model fusion across scheduled models with shared features.
+    n_workers:
+        evaluation concurrency: algorithm families search in parallel and
+        each family batches candidate evaluations over a worker pool.
+        ``1`` (the default) is the fully serial flow; any value produces
+        the same search trajectories for a given ``seed`` (evaluations
+        are deterministic functions of their configuration).
+    batch_size:
+        configurations suggested per batched BO round (default:
+        ``n_workers``).
+    cache_dir:
+        directory for per-family JSON evaluation-cache spills; reused by
+        later runs to warm-start identical configurations.
     """
     if not isinstance(platform, PlatformSpec):
         raise SpecificationError("generate() expects a PlatformSpec")
@@ -164,6 +276,16 @@ def generate(
         raise SpecificationError("no models scheduled; call platform.schedule(...)")
     if budget < 1:
         raise SpecificationError(f"budget must be >= 1, got {budget}")
+    if n_workers < 1:
+        raise SpecificationError(f"n_workers must be >= 1, got {n_workers}")
+    if batch_size is not None and batch_size < 1:
+        raise SpecificationError(f"batch_size must be >= 1, got {batch_size}")
+    if cache_dir is not None:
+        # Fail before the search runs, not when the first spill saves.
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+        except OSError as exc:
+            raise SpecificationError(f"unusable cache_dir {cache_dir!r}: {exc}") from exc
     backend = platform.backend()
     constraints = platform.constraints()
     pairs = _apply_fusion(platform.models(), fuse)
@@ -179,6 +301,9 @@ def generate(
             warmup=warmup,
             train_epochs=train_epochs,
             seed=int(derive(seed, index).integers(0, 2**31)),
+            n_workers=n_workers,
+            batch_size=batch_size,
+            cache_dir=cache_dir,
         )
 
     total = _sum_resources(list(reports.values()))

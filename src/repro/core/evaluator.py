@@ -10,10 +10,13 @@ flag encodes the resource/performance verdicts.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.alchemy.model import Model
 from repro.backends.base import CompiledPipeline
+from repro.bayesopt.cache import EvaluationCache, config_key
 from repro.bayesopt.results import Evaluation
 from repro.core.designspace_builder import dnn_topology
 from repro.datasets.base import Dataset
@@ -32,10 +35,11 @@ def _config_salt(config: dict) -> int:
 
     Uses md5 rather than ``hash()`` — Python randomizes string hashes per
     process, which would break cross-process reproducibility of searches.
+    Built on the same canonical serialization the evaluation cache keys
+    on (:func:`~repro.bayesopt.cache.config_key`), so cache identity and
+    training-seed identity can never diverge.
     """
-    text = "|".join(f"{k}={config[k]!r}" for k in sorted(config))
-    import hashlib
-
+    text = config_key(config)
     return int(hashlib.md5(text.encode()).hexdigest()[:8], 16) & 0x7FFFFFFF
 
 
@@ -51,6 +55,7 @@ class ModelEvaluator:
         constraints: dict,
         seed: int = 0,
         train_epochs: int = 30,
+        cache: "EvaluationCache | None" = None,
     ) -> None:
         self.model_spec = model_spec
         self.dataset = self._fit_to_backend(dataset, algorithm, backend, constraints)
@@ -59,6 +64,8 @@ class ModelEvaluator:
         self.constraints = constraints
         self.seed = int(seed)
         self.train_epochs = int(train_epochs)
+        #: optional evaluation memo: duplicate configs skip train/lower/score.
+        self.cache = cache
         self.scaler = StandardScaler().fit(self.dataset.train_x)
         self._train_scaled = self.scaler.transform(self.dataset.train_x)
         self._test_scaled = self.scaler.transform(self.dataset.test_x)
@@ -179,7 +186,23 @@ class ModelEvaluator:
 
     # ------------------------------------------------------------------ #
     def evaluate(self, config: dict) -> Evaluation:
-        """The black box: train → lower → score → feasibility verdict."""
+        """The black box: train → lower → score → feasibility verdict.
+
+        With a :class:`~repro.bayesopt.cache.EvaluationCache` attached,
+        previously seen configurations return instantly; correctness relies
+        on this method being a deterministic function of ``config`` (the
+        training seed is derived from the config contents).
+        """
+        if self.cache is not None:
+            cached = self.cache.get(config)
+            if cached is not None:
+                return cached
+        outcome = self._evaluate_uncached(config)
+        if self.cache is not None:
+            self.cache.put(config, outcome)
+        return outcome
+
+    def _evaluate_uncached(self, config: dict) -> Evaluation:
         rng_seed = derive(self.seed, _config_salt(config))
         try:
             model, float_pred = self._train(config, rng_seed)

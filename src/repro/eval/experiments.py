@@ -59,7 +59,8 @@ def _make_model(app: str, dataset, algorithms=("dnn",)):
 # --------------------------------------------------------------------------- #
 # Table 2: hand-tuned baselines vs Homunculus-generated models on Taurus
 # --------------------------------------------------------------------------- #
-def run_table2(budget: int = 15, seed: int = 0, quick: bool = True, apps=APPS) -> list:
+def run_table2(budget: int = 15, seed: int = 0, quick: bool = True, apps=APPS,
+               n_workers: int = 1, batch_size: "int | None" = None) -> list:
     """Rows: app x {baseline, homunculus} with F1 (%), params, CUs, MUs."""
     backend = TaurusBackend(TaurusGrid(16, 16))
     rows = []
@@ -90,7 +91,8 @@ def run_table2(budget: int = 15, seed: int = 0, quick: bool = True, apps=APPS) -
             resources={"rows": 16, "cols": 16},
         )
         platform.schedule(_make_model(app, dataset))
-        report = repro.generate(platform, budget=budget, seed=seed)
+        report = repro.generate(platform, budget=budget, seed=seed,
+                            n_workers=n_workers, batch_size=batch_size)
         best = report.best
         rows.append(
             {
@@ -124,7 +126,8 @@ def format_table2(rows: list) -> str:
 # --------------------------------------------------------------------------- #
 # Table 3: resource scaling under different app-chaining strategies
 # --------------------------------------------------------------------------- #
-def run_table3(budget: int = 10, seed: int = 0, quick: bool = True) -> list:
+def run_table3(budget: int = 10, seed: int = 0, quick: bool = True,
+               n_workers: int = 1, batch_size: "int | None" = None) -> list:
     """Chain four copies of the AD DNN under the paper's three strategies.
 
     Copies of one model share a placed pipeline (the chaining glue folds
@@ -137,7 +140,8 @@ def run_table3(budget: int = 10, seed: int = 0, quick: bool = True) -> list:
         resources={"rows": 16, "cols": 16},
     )
     platform.schedule(model)
-    report = repro.generate(platform, budget=budget, seed=seed)
+    report = repro.generate(platform, budget=budget, seed=seed,
+                            n_workers=n_workers, batch_size=batch_size)
     best = report.best
     # ``>>`` is the chaining-safe sequential operator (Python would parse
     # chained ``>`` as a comparison chain); notation strings keep the
@@ -173,7 +177,8 @@ def format_table3(rows: list) -> str:
 # --------------------------------------------------------------------------- #
 # Table 4: model fusion
 # --------------------------------------------------------------------------- #
-def run_table4(budget: int = 10, seed: int = 0, quick: bool = True) -> list:
+def run_table4(budget: int = 10, seed: int = 0, quick: bool = True,
+               n_workers: int = 1, batch_size: "int | None" = None) -> list:
     """Split the AD dataset in two; compare split models vs the fused one.
 
     Split models each get half the switch (an 8x16 grid); the fused model
@@ -192,7 +197,8 @@ def run_table4(budget: int = 10, seed: int = 0, quick: bool = True) -> list:
             resources={"rows": rows_cols[0], "cols": rows_cols[1]},
         )
         platform.schedule(_make_model("ad", ds))
-        report = repro.generate(platform, budget=budget, seed=seed)
+        report = repro.generate(platform, budget=budget, seed=seed,
+                            n_workers=n_workers, batch_size=batch_size)
         best = report.best
         rows.append(
             {
@@ -296,7 +302,8 @@ def format_table5(rows: list) -> str:
 # --------------------------------------------------------------------------- #
 # Figure 4: BO regret for the AD DNN
 # --------------------------------------------------------------------------- #
-def run_fig4(budget: int = 20, seed: int = 0, quick: bool = True) -> dict:
+def run_fig4(budget: int = 20, seed: int = 0, quick: bool = True,
+             n_workers: int = 1, batch_size: "int | None" = None) -> dict:
     """Per-iteration F1 (the dots) plus the incumbent curve."""
     dataset = _load_app("ad", quick, seed)
     platform = Platforms.Taurus().constrain(
@@ -304,7 +311,8 @@ def run_fig4(budget: int = 20, seed: int = 0, quick: bool = True) -> dict:
         resources={"rows": 16, "cols": 16},
     )
     platform.schedule(_make_model("ad", dataset))
-    report = repro.generate(platform, budget=budget, seed=seed)
+    report = repro.generate(platform, budget=budget, seed=seed,
+                            n_workers=n_workers, batch_size=batch_size)
     optimization = report.best.optimization
     return {
         "iterations": list(range(1, len(optimization.history) + 1)),
@@ -369,7 +377,8 @@ def format_fig6(result: dict) -> str:
 # Figure 7: KMeans V-measure under varying MAT budgets
 # --------------------------------------------------------------------------- #
 def run_fig7(budget: int = 12, seed: int = 0, quick: bool = True,
-             mat_budgets=(1, 2, 3, 4, 5)) -> dict:
+             mat_budgets=(1, 2, 3, 4, 5),
+             n_workers: int = 1, batch_size: "int | None" = None) -> dict:
     """One Homunculus KMeans search per MAT budget (K1..K5).
 
     The operator-selected clustering features (packet size, protocol,
@@ -395,7 +404,8 @@ def run_fig7(budget: int = 12, seed: int = 0, quick: bool = True,
         )
         platform = Platforms.Tofino().constrain(resources={"mats": mats})
         platform.schedule(model)
-        report = repro.generate(platform, budget=budget, seed=seed)
+        report = repro.generate(platform, budget=budget, seed=seed,
+                            n_workers=n_workers, batch_size=batch_size)
         best = report.best
         series[f"KMeans{mats}"] = {
             "mats": mats,

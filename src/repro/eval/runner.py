@@ -12,6 +12,7 @@ them to ``<out>/<name>.txt``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -31,12 +32,27 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, seed: int, quick: bool) -> str:
-    """Run one experiment and return its formatted text."""
+def run_experiment(
+    name: str,
+    seed: int,
+    quick: bool,
+    n_workers: int = 1,
+    batch_size: "int | None" = None,
+) -> str:
+    """Run one experiment and return its formatted text.
+
+    ``n_workers``/``batch_size`` are forwarded to experiments whose
+    runners accept them (the ones driving compiler searches); the search
+    results are identical to a serial run, only faster.
+    """
     runner, formatter = EXPERIMENTS[name]
     kwargs: dict = {"seed": seed}
     if name != "fig6":  # fig6 takes n_flows rather than quick
         kwargs["quick"] = quick
+    accepted = inspect.signature(runner).parameters
+    if "n_workers" in accepted:
+        kwargs["n_workers"] = n_workers
+        kwargs["batch_size"] = batch_size
     result = runner(**kwargs)
     return formatter(result)
 
@@ -58,14 +74,34 @@ def main(argv: "list | None" = None) -> int:
         help="use the larger (slower) dataset/budget configuration",
     )
     parser.add_argument("--out", default=None, help="directory for .txt artifacts")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel evaluation workers for compiler-driven experiments",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="BO configurations evaluated per batch (default: --workers)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)
     for name in names:
         start = time.time()
-        text = run_experiment(name, seed=args.seed, quick=not args.full)
+        text = run_experiment(
+            name,
+            seed=args.seed,
+            quick=not args.full,
+            n_workers=args.workers,
+            batch_size=args.batch_size,
+        )
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) ===\n{text}")
         if args.out:

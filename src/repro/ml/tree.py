@@ -235,8 +235,77 @@ class DecisionTreeRegressor(_BaseTree):
         return np.array([float(np.mean(y))])
 
     def _impurity(self, y: np.ndarray) -> float:
-        return float(np.var(y)) if y.shape[0] else 0.0
+        # Single-pass variance (sum-of-squares form, clipped at 0): the
+        # same quantity np.var computes, minus the per-call overhead —
+        # this runs at every node of every surrogate tree.
+        n = y.shape[0]
+        if n == 0:
+            return 0.0
+        s = float(y.sum())
+        q = float(y @ y)
+        return max(q / n - (s / n) ** 2, 0.0)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, float]:
+        """Variance-reduction split via prefix sums.
+
+        Scoring every candidate threshold with ``np.var`` is O(n) numpy
+        calls per position; this override computes all left/right SSEs in
+        one vectorized pass per feature (O(n log n) total), which is the
+        hot path of the random-forest BO surrogate — every ``suggest``
+        refits a forest of these trees.  Selection keeps the base rule:
+        scan positions in order, accepting only > 1e-12 improvements.
+        """
+        parent = self._impurity(y)
+        n = y.shape[0]
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in self._candidate_features():
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            distinct = np.nonzero(np.diff(xs) > 0)[0]
+            if distinct.size == 0:
+                continue
+            left_n = distinct + 1
+            right_n = n - left_n
+            valid = (left_n >= self.min_samples_leaf) & (right_n >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            cum_s = np.cumsum(ys)
+            cum_q = np.cumsum(ys * ys)
+            s_left = cum_s[distinct]
+            q_left = cum_q[distinct]
+            s_right = cum_s[-1] - s_left
+            q_right = cum_q[-1] - q_left
+            var_left = np.maximum(q_left / left_n - (s_left / left_n) ** 2, 0.0)
+            var_right = np.maximum(q_right / right_n - (s_right / right_n) ** 2, 0.0)
+            gains = parent - (left_n * var_left + right_n * var_right) / n
+            for idx in np.nonzero(valid)[0]:
+                if gains[idx] > best_gain + 1e-12:
+                    best_gain = float(gains[idx])
+                    best_feature = int(feature)
+                    i = int(distinct[idx])
+                    best_threshold = float((xs[i] + xs[i + 1]) / 2.0)
+        return best_feature, best_threshold, best_gain
 
     def predict(self, X) -> np.ndarray:
+        # Batched traversal: partition the whole query set down the tree
+        # instead of walking it one sample at a time (the surrogate
+        # scores a 256-candidate pool per BO iteration).
         X = np.asarray(X, dtype=float)
-        return np.array([self._leaf_for(x).value[0] for x in X])
+        if self.root is None:
+            raise TrainingError("tree used before fit()")
+        out = np.empty(X.shape[0])
+        stack = [(self.root, np.arange(X.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value[0]
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out

@@ -1,0 +1,158 @@
+"""Tests for the persistent evaluation cache and the cached-objective wrapper."""
+
+import json
+
+import pytest
+
+from repro.bayesopt.cache import CachedObjective, EvaluationCache, config_key
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.bayesopt.results import Evaluation
+from repro.bayesopt.space import DesignSpace, Integer, Real
+from repro.core.evaluator import ModelEvaluator
+from repro.errors import DesignSpaceError
+
+
+@pytest.fixture
+def space():
+    return DesignSpace([Integer("x", -10, 10), Integer("y", -10, 10)])
+
+
+class TestConfigKey:
+    def test_order_independent(self):
+        assert config_key({"a": 1, "b": 2.5}) == config_key({"b": 2.5, "a": 1})
+
+    def test_distinguishes_types(self):
+        # int 1 and float 1.0 train differently (repr-based identity).
+        assert config_key({"a": 1}) != config_key({"a": 1.0})
+
+    def test_distinguishes_values(self):
+        assert config_key({"a": 1}) != config_key({"a": 2})
+
+
+class TestEvaluationCache:
+    def test_put_get_roundtrip(self):
+        cache = EvaluationCache()
+        ev = Evaluation(config={"x": 1}, objective=0.5, metrics={"m": 1.0})
+        cache.put({"x": 1}, ev)
+        assert cache.get({"x": 1}) == ev
+        assert {"x": 1} in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = EvaluationCache()
+        assert cache.get({"x": 2}) is None
+        cache.put({"x": 2}, Evaluation(config={"x": 2}, objective=1.0))
+        cache.get({"x": 2})
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_duplicate_configs_hit_cache_in_bo_loop(self):
+        # Tiny space forces the dedupe fallback to resuggest configs; the
+        # cache must absorb the repeats so the objective runs once per point.
+        space = DesignSpace([Integer("x", 0, 3)])
+        calls = []
+
+        def f(config):
+            calls.append(config["x"])
+            return float(config["x"])
+
+        wrapped = CachedObjective(f)
+        BayesianOptimizer(space, wrapped, warmup=2, seed=0).run(8)
+        assert wrapped.calls == len(set(calls))
+        assert wrapped.calls <= 4  # only 4 distinct configs exist
+
+    def test_json_spill_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = EvaluationCache()
+        ev = Evaluation(
+            config={"x": 3, "r": 0.125, "c": "relu"},
+            objective=0.75,
+            feasible=False,
+            metrics={"latency_ns": 42.0, "violations": "too slow"},
+        )
+        cache.put(ev.config, ev)
+        cache.save(path)
+
+        loaded = EvaluationCache(path=path)
+        assert len(loaded) == 1
+        back = loaded.get({"x": 3, "r": 0.125, "c": "relu"})
+        assert back == ev
+
+    def test_constructor_path_is_save_default(self, tmp_path):
+        path = str(tmp_path / "spill.json")
+        cache = EvaluationCache(path=path)
+        cache.put({"x": 1}, Evaluation(config={"x": 1}, objective=1.0))
+        assert cache.save() == path
+        assert EvaluationCache(path=path).get({"x": 1}) is not None
+
+    def test_clear(self):
+        cache = EvaluationCache()
+        cache.put({"x": 1}, Evaluation(config={"x": 1}, objective=1.0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["hits"] == 0
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(DesignSpaceError):
+            EvaluationCache().save()
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else", "entries": []}))
+        with pytest.raises(DesignSpaceError):
+            EvaluationCache(path=str(path))
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "homunculus-evaluation-cache", "version": 99})
+        )
+        with pytest.raises(DesignSpaceError):
+            EvaluationCache(path=str(path))
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DesignSpaceError):
+            EvaluationCache(path=str(path))
+
+
+class TestSuggestBatchDedupe:
+    def test_batch_distinct_under_dedupe(self):
+        space = DesignSpace(
+            [Integer("x", -10, 10), Integer("y", -10, 10), Real("r", 0.0, 1.0)]
+        )
+        opt = BayesianOptimizer(
+            space, lambda c: float(c["x"] + c["y"]), warmup=3, seed=1, dedupe=True
+        )
+        result = opt.run(5)
+        batch = opt.suggest_batch(result, 6)
+        assert len({space.key(c) for c in batch}) == 6
+
+
+class TestModelEvaluatorCache:
+    def test_duplicate_evaluations_trained_once(self, tc_dataset):
+        from repro.alchemy import DataLoader, Model
+        from repro.backends.tofino import TofinoBackend
+
+        @DataLoader
+        def loader():
+            return tc_dataset
+
+        spec = Model(
+            {
+                "optimization_metric": ["f1"],
+                "algorithm": ["decision_tree"],
+                "name": "tc",
+                "data_loader": loader,
+            }
+        )
+        cache = EvaluationCache()
+        evaluator = ModelEvaluator(
+            spec, tc_dataset, "decision_tree", TofinoBackend(),
+            {"performance": {}, "resources": {}}, seed=0, cache=cache,
+        )
+        config = {"max_depth": 3, "min_samples_leaf": 2}
+        first = evaluator.evaluate(config)
+        second = evaluator.evaluate(config)
+        assert second is first  # served from cache, not retrained
+        assert cache.stats["hits"] == 1
