@@ -17,7 +17,7 @@ from repro.core.designspace_builder import build_design_space
 from repro.core.evaluator import ModelEvaluator
 from repro.datasets import load_iot, load_nslkdd
 from repro.alchemy import DataLoader, Model
-from repro.ml import LinearSVM, NeuralNetwork, StandardScaler, f1_score
+from repro.ml import LinearSVM, NeuralNetwork, StandardScaler
 from repro.ml.quantization import FixedPointFormat
 
 

@@ -7,7 +7,6 @@ the models can now run at line speed".  This bench quantifies that
 trade-off inside our Taurus resource model.
 """
 
-import numpy as np
 import pytest
 
 from repro.backends.taurus import TaurusBackend

@@ -5,7 +5,6 @@ the components every compile run leans on: DNN training epochs, the BO
 suggest step, the two hardware simulators, and both code generators.
 """
 
-import numpy as np
 import pytest
 
 from repro.backends.taurus import TaurusBackend

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Sync vs async serving on the botnet flowmarker workload.
+
+Three legs, one workload (per-packet botnet detection over interleaved
+P2P flows, conversation state in a :class:`FlowmarkerTracker`):
+
+1. **raw** — functional simulation only (``predict`` returns
+   instantly).  There is nothing to overlap, so this leg just shows the
+   async engine's host overhead is near parity with the sync loop.
+2. **device overlap** — both paths drive the *same*
+   :class:`TimedPipeline` device model (a per-batch host<->device round
+   trip, as when the model runs on the switch and the host talks to its
+   agent).  The sync processor serializes extract -> service; the async
+   engine overlaps extraction with up to ``--infer-workers`` batches in
+   flight, which is where the >= 1.5x throughput comes from.  Block
+   mode: predictions and stream counters stay bit-identical to sync.
+3. **latency bound** — paced replay with ``--max-latency-us``
+   deadline micro-batching: measured p99 must respect the deadline plus
+   device service and scheduling slack.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` shrinks the workload and skips the hard assertions (CI runs
+it as a non-blocking job; the full run is the reportable benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.backends.taurus import TaurusBackend
+from repro.datasets import load_botnet
+from repro.datasets.botnet import flow_label, generate_botnet_flows
+from repro.eval.baselines import train_baseline_dnn
+from repro.runtime import FlowmarkerTracker, StreamProcessor
+from repro.serving import AsyncStreamEngine, TimedPipeline, replay
+
+#: Emulated host<->device round trip per inference batch (seconds).  A
+#: PCIe/agent RPC to the switch is hundreds of microseconds to a few
+#: milliseconds; both sync and async legs pay exactly this model.
+DEVICE_PER_BATCH_S = 1.5e-3
+BATCH_SIZE = 256
+INFER_WORKERS = 4
+MAX_LATENCY_US = 2000.0
+SPEEDUP_TARGET = 1.5
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def build_workload(n_train_flows: int, n_stream_flows: int, seed: int = 13):
+    dataset = load_botnet(n_train_flows=n_train_flows, n_test_flows=2,
+                          seed=seed, per_packet_test=False)
+    net, scaler = train_baseline_dnn("bd", dataset, seed=0)
+    pipeline = TaurusBackend().compile_model(net, scaler=scaler, name="bd")
+    flows = generate_botnet_flows(n_stream_flows, seed=99)
+    tagged = []
+    for flow in flows:
+        label = flow_label(flow)
+        for packet in flow:
+            tagged.append((packet.timestamp, packet, label))
+    tagged.sort(key=lambda item: item[0])
+    packets = [item[1] for item in tagged]
+    labels = [item[2] for item in tagged]
+    return pipeline, packets, labels
+
+
+def tracker():
+    return FlowmarkerTracker(max_conversations=4096)
+
+
+def run_sync(pipeline, packets, labels):
+    processor = StreamProcessor(pipeline, tracker(), batch_size=BATCH_SIZE)
+    start = time.perf_counter()
+    predictions = processor.process(packets, labels)
+    return time.perf_counter() - start, predictions, processor.stats
+
+
+def run_async(pipeline, packets, labels, infer_workers=INFER_WORKERS):
+    engine = AsyncStreamEngine(
+        pipeline, tracker(), batch_size=BATCH_SIZE,
+        drop_policy="block", infer_workers=infer_workers,
+    )
+    start = time.perf_counter()
+    predictions = engine.process(packets, labels)
+    return time.perf_counter() - start, predictions, engine.stats
+
+
+def best_of(fn, repeats: int):
+    best = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or result[0] < best[0]:
+            best = result
+    return best
+
+
+def stream_counters(stats):
+    return (stats.packets, stats.class_counts, stats.correct,
+            stats.labeled, stats.confusion)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload, no hard assertions")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_train, n_stream, repeats = 60, 300, 1
+    else:
+        n_train, n_stream, repeats = 150, 1500, 3
+    pipeline, packets, labels = build_workload(n_train, n_stream)
+    lines = [
+        f"Serving benchmark — botnet flowmarker workload "
+        f"({len(packets)} packets, batch={BATCH_SIZE}, "
+        f"device={DEVICE_PER_BATCH_S * 1e3:.1f} ms/batch, "
+        f"infer_workers={INFER_WORKERS})",
+        "-" * 74,
+    ]
+    failures = []
+
+    # Leg 1: raw functional simulation (host overhead parity check).
+    sync_s, sync_pred, sync_stats = best_of(
+        lambda: run_sync(pipeline, packets, labels), repeats)
+    async_s, async_pred, async_stats = best_of(
+        lambda: run_async(pipeline, packets, labels), repeats)
+    raw_ratio = sync_s / async_s
+    identical = np.array_equal(np.asarray(sync_pred), np.asarray(async_pred))
+    lines += [
+        f"{'raw sync (no device model)':<44}{sync_s * 1e3:>10.1f} ms",
+        f"{'raw async':<44}{async_s * 1e3:>10.1f} ms   ({raw_ratio:.2f}x)",
+    ]
+    if not identical:
+        failures.append("raw leg: async predictions diverged from sync")
+
+    # Leg 2: device service overlap (the headline speedup).
+    timed_sync_s, ts_pred, ts_stats = best_of(
+        lambda: run_sync(TimedPipeline(pipeline, per_batch_s=DEVICE_PER_BATCH_S),
+                         packets, labels), repeats)
+    timed_async_s, ta_pred, ta_stats = best_of(
+        lambda: run_async(TimedPipeline(pipeline, per_batch_s=DEVICE_PER_BATCH_S),
+                          packets, labels), repeats)
+    speedup = timed_sync_s / timed_async_s
+    bit_identical = (
+        np.array_equal(np.asarray(ts_pred), np.asarray(ta_pred))
+        and stream_counters(ts_stats) == stream_counters(ta_stats)
+    )
+    lines += [
+        f"{'device sync (serialized service)':<44}{timed_sync_s * 1e3:>10.1f} ms",
+        f"{'device async (batches in flight)':<44}{timed_async_s * 1e3:>10.1f} ms"
+        f"   ({speedup:.2f}x)",
+        f"block-mode predictions + counters bit-identical: {bit_identical}",
+        f"async throughput: {len(packets) / timed_async_s:,.0f} pkt/s "
+        f"(sync {len(packets) / timed_sync_s:,.0f} pkt/s)",
+    ]
+    if not bit_identical:
+        failures.append("device leg: block mode was not bit-identical")
+    if not args.smoke and speedup < SPEEDUP_TARGET:
+        failures.append(
+            f"device leg: speedup {speedup:.2f}x < target {SPEEDUP_TARGET}x")
+
+    # Leg 3: deadline micro-batching under paced replay.  Light load on
+    # purpose (a couple of thousand packets per second): the deadline is
+    # what bounds latency here, not the batch size.
+    subset_n = min(len(packets), 3000 if args.smoke else 6000)
+    sub_packets, sub_labels = packets[:subset_n], labels[:subset_n]
+    span = sub_packets[-1].timestamp - sub_packets[0].timestamp
+    target_duration = 1.5 if args.smoke else 2.4
+    speed = max(1.0, span / target_duration)
+    engine = AsyncStreamEngine(
+        TimedPipeline(pipeline, per_batch_s=DEVICE_PER_BATCH_S / 3),
+        tracker(),
+        batch_size=BATCH_SIZE,
+        max_latency=MAX_LATENCY_US * 1e-6,
+        drop_policy="block",
+        infer_workers=INFER_WORKERS,
+    )
+    import asyncio
+
+    asyncio.run(engine.run(replay(sub_packets, sub_labels, speed=speed)))
+    summary = engine.stats.summary()
+    p99_us = summary["latency_p99_us"]
+
+    # Control: identical paced replay with the deadline off — batches
+    # wait for size alone, so light-load latency balloons.
+    control = AsyncStreamEngine(
+        TimedPipeline(pipeline, per_batch_s=DEVICE_PER_BATCH_S / 3),
+        tracker(),
+        batch_size=BATCH_SIZE,
+        drop_policy="block",
+        infer_workers=INFER_WORKERS,
+    )
+    asyncio.run(control.run(replay(sub_packets, sub_labels, speed=speed)))
+    control_p99_us = control.stats.summary()["latency_p99_us"]
+
+    budget_us = (MAX_LATENCY_US + DEVICE_PER_BATCH_S / 3 * 1e6
+                 + 15000.0)  # deadline + service + scheduling slack
+    lines += [
+        f"paced replay ({speed:.0f}x, deadline {MAX_LATENCY_US:.0f} us): "
+        f"p50 {summary['latency_p50_us']:.0f} us  "
+        f"p95 {summary['latency_p95_us']:.0f} us  "
+        f"p99 {p99_us:.0f} us",
+        f"same replay, no deadline (size-only batching): "
+        f"p99 {control_p99_us:.0f} us",
+        f"deadline flushes: {summary['deadline_flushes']} / "
+        f"{summary['batches']} batches (mean {summary['mean_batch']:.1f} rows)",
+    ]
+    if not args.smoke:
+        if p99_us > budget_us:
+            failures.append(
+                f"latency leg: p99 {p99_us:.0f} us exceeds budget "
+                f"{budget_us:.0f} us")
+        if p99_us * 3 > control_p99_us:
+            failures.append(
+                f"latency leg: deadline p99 {p99_us:.0f} us is not well "
+                f"below the size-only p99 {control_p99_us:.0f} us")
+
+    verdict = "PASS" if not failures else "FAIL: " + "; ".join(failures)
+    lines += ["", verdict]
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "serving.txt")
+    with open(out_path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"(written to {out_path})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,6 @@ This example:
 Run:  python examples/botnet_detection.py
 """
 
-import numpy as np
 
 import repro
 from repro.alchemy import DataLoader, Model, Platforms

@@ -3,9 +3,11 @@
 
 The compiler's output is a data-plane program; this example shows what
 happens *after* `generate()`: a botnet detector runs per-packet over an
-interleaved stream of P2P flows, with conversation state (partial
-flowmarkers) maintained switch-register-style and online statistics
-reported to the operator.
+interleaved stream of P2P flows through the **async serving runtime** —
+feature extraction, deadline micro-batching, inference, and recording
+run as pipelined stages over bounded queues, with conversation state
+(partial flowmarkers) maintained switch-register-style and latency /
+throughput / drop telemetry reported to the operator.
 
 Run:  python examples/live_deployment.py
 """
@@ -15,7 +17,8 @@ from repro.alchemy import DataLoader, Model, Platforms
 from repro.core.export import export_report
 from repro.datasets import load_botnet
 from repro.datasets.botnet import flow_label, generate_botnet_flows
-from repro.runtime import FlowmarkerTracker, StreamProcessor
+from repro.runtime import FlowmarkerTracker
+from repro.serving import AsyncStreamEngine
 
 SEED = 0
 
@@ -68,15 +71,41 @@ evaluator = ModelEvaluator(
 _, pipeline, _ = evaluator.rebuild(best.best_config)
 
 flows = generate_botnet_flows(200, seed=SEED + 1234)
-tracker = FlowmarkerTracker(max_conversations=1024)
-processor = StreamProcessor(pipeline, tracker, batch_size=256)
-processor.process_flows(flows, label_fn=flow_label)
+tagged = []
+for flow in flows:
+    label = flow_label(flow)
+    for packet in flow:
+        tagged.append((packet.timestamp, packet, label))
+tagged.sort(key=lambda item: item[0])
+packets = [item[1] for item in tagged]
+labels = [item[2] for item in tagged]
 
-stats = processor.stats
-print(f"\nstreamed {stats.packets} packets across {len(flows)} flows")
+tracker = FlowmarkerTracker(max_conversations=1024)
+engine = AsyncStreamEngine(
+    pipeline,
+    tracker,
+    batch_size=256,
+    max_latency=2e-3,      # flush partial batches after 2 ms
+    queue_depth=1024,      # switch-style fixed-depth stage FIFOs
+    drop_policy="block",   # lossless: bit-identical to the sync processor
+    infer_workers=2,
+)
+engine.process(packets, labels)
+
+stats = engine.stats
+summary = stats.summary()
+print(f"\nstreamed {stats.packets} packets across {len(flows)} flows "
+      f"at {summary['throughput_pps']:.0f} pkt/s")
 print(f"online per-packet accuracy: {stats.accuracy:.3f}")
 print(f"flagged-malicious rate:     {stats.positive_rate():.3f}")
 print(f"conversations tracked:      {len(tracker)} (evictions: {tracker.evictions})")
+print(f"micro-batches:              {summary['batches']} "
+      f"(mean {summary['mean_batch']:.1f} rows, "
+      f"{summary['deadline_flushes']} deadline flushes)")
+print(f"serving latency (us):       p50 {summary['latency_p50_us']:.0f} / "
+      f"p95 {summary['latency_p95_us']:.0f} / p99 {summary['latency_p99_us']:.0f}")
+print(f"queue depth / drops:        {summary['queue_max_depth']} / "
+      f"{summary['dropped']}")
 tp = stats.confusion.get((1, 1), 0)
 fn = stats.confusion.get((1, 0), 0)
 fp = stats.confusion.get((0, 1), 0)

@@ -15,7 +15,6 @@ import numpy as np
 from repro.backends.tofino.mat import (
     KEY_FRACTION_BITS,
     ClusterDistanceTable,
-    DecisionTable,
     FeatureScoreTable,
     MatPipeline,
     TreeLevelTable,

@@ -1,4 +1,4 @@
-"""Command-line compiler: ``python -m repro.cli``.
+"""Command-line compiler and server: ``python -m repro.cli``.
 
 Compiles one of the built-in applications for a chosen target and writes
 the deployment bundle::
@@ -9,6 +9,13 @@ the deployment bundle::
 Custom datasets come in as CSV pairs (the Figure-3 file format)::
 
     python -m repro.cli --train my_train.csv --test my_test.csv --name myapp
+
+The ``serve`` subcommand runs compiled pipelines against a replayed
+packet stream through the async serving runtime::
+
+    python -m repro.cli serve --pipelines bd,ad --flows 300 \\
+        --batch-size 256 --max-latency-us 2000 --queue-depth 1024 \\
+        --drop-policy tail-drop
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import repro
 from repro.alchemy import DataLoader, Model, Platforms
 from repro.core.export import export_report
 from repro.datasets import load_botnet, load_csv_dataset, load_iot, load_nslkdd
+from repro.serving import DROP_POLICIES
 
 _APPS = {
     "ad": ("anomaly_detection", lambda seed: load_nslkdd(seed=seed + 7)),
@@ -36,7 +44,10 @@ _PLATFORMS = {
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Homunculus: compile a data-plane ML pipeline."
+        description="Homunculus: compile a data-plane ML pipeline.",
+        epilog="Subcommand: 'repro.cli serve ...' runs compiled pipelines "
+               "over a replayed packet stream through the async serving "
+               "runtime ('repro.cli serve --help' for its flags).",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--app", choices=sorted(_APPS), help="built-in application")
@@ -72,7 +83,191 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve compiled pipelines over a replayed packet stream.",
+    )
+    parser.add_argument(
+        "--pipelines", default="bd",
+        help="comma-separated subset of {ad,tc,bd} sharing one ingest stream",
+    )
+    parser.add_argument("--flows", type=int, default=200,
+                        help="botnet/benign flows to replay")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="inference micro-batch size")
+    parser.add_argument(
+        "--max-latency-us", type=float, default=None,
+        help="micro-batch deadline: flush partial batches after this many "
+             "microseconds (default: batch by size only)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=1024,
+                        help="bounded stage-queue depth (packets)")
+    parser.add_argument(
+        "--drop-policy", default="block", choices=sorted(DROP_POLICIES),
+        help="ingress behaviour when the queue is full",
+    )
+    parser.add_argument("--infer-workers", type=int, default=2,
+                        help="inference batches in flight")
+    parser.add_argument(
+        "--speed", type=float, default=0.0,
+        help="replay pacing multiplier over capture time (0 = unpaced)",
+    )
+    parser.add_argument(
+        "--device-us", type=float, default=0.0,
+        help="emulated per-batch device round trip in microseconds "
+             "(0 = functional simulation only)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _serve_packet_dataset(n_train_flows: int, n_test_flows: int, seed: int):
+    """Per-packet header features labeled botnet/benign (the serve-mode
+    AD task: same stream the BD route sees, packet-level features)."""
+    import numpy as np
+
+    from repro.datasets.base import Dataset
+    from repro.datasets.botnet import flow_label, generate_botnet_flows
+    from repro.netsim.features import PACKET_FEATURE_NAMES, packet_features
+
+    def split(n_flows: int, split_seed: int):
+        flows = generate_botnet_flows(n_flows, seed=split_seed)
+        rows = [packet_features(p) for f in flows for p in f]
+        labels = [flow_label(f) for f in flows for _ in f]
+        return np.stack(rows), np.array(labels, dtype=int)
+
+    train_x, train_y = split(n_train_flows, seed)
+    test_x, test_y = split(n_test_flows, seed + 1)
+    return Dataset(
+        train_x=train_x, train_y=train_y, test_x=test_x, test_y=test_y,
+        feature_names=PACKET_FEATURE_NAMES, name="ad-packet",
+    )
+
+
+def _build_serve_routes(names: list, seed: int) -> list:
+    """Train + compile one baseline pipeline per requested application."""
+    from repro.backends.taurus import TaurusBackend
+    from repro.eval.baselines import train_baseline_dnn
+    from repro.runtime import FlowmarkerTracker, PacketFeatureExtractor
+
+    backend = TaurusBackend()
+    specs = []
+    for name in names:
+        if name == "bd":
+            dataset = load_botnet(
+                n_train_flows=150, n_test_flows=2, seed=seed + 13,
+                per_packet_test=False,
+            )
+            extractor = FlowmarkerTracker(max_conversations=4096)
+        elif name == "tc":
+            dataset = load_iot(seed=seed + 11)
+            extractor = PacketFeatureExtractor()
+        elif name == "ad":
+            dataset = _serve_packet_dataset(150, 40, seed + 7)
+            extractor = PacketFeatureExtractor()
+        else:
+            raise ValueError(name)
+        net, scaler = train_baseline_dnn(name, dataset, seed=seed)
+        pipeline = backend.compile_model(net, scaler=scaler, name=name)
+        specs.append((name, pipeline, extractor))
+    return specs
+
+
+def serve_main(argv: "list | None" = None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    names = [n.strip() for n in args.pipelines.split(",") if n.strip()]
+    unknown = sorted(set(names) - {"ad", "tc", "bd"})
+    if unknown or not names:
+        print(f"error: --pipelines must name ad, tc and/or bd, got "
+              f"{args.pipelines!r}", file=sys.stderr)
+        return 2
+    if len(names) != len(set(names)):
+        print("error: duplicate pipeline names", file=sys.stderr)
+        return 2
+    for flag, value, minimum in [
+        ("--flows", args.flows, 1),
+        ("--batch-size", args.batch_size, 1),
+        ("--queue-depth", args.queue_depth, 1),
+        ("--infer-workers", args.infer_workers, 1),
+    ]:
+        if value < minimum:
+            print(f"error: {flag} must be >= {minimum}", file=sys.stderr)
+            return 2
+    if args.speed < 0 or args.device_us < 0:
+        print("error: --speed and --device-us must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_latency_us is not None and args.max_latency_us <= 0:
+        print("error: --max-latency-us must be positive", file=sys.stderr)
+        return 2
+
+    from repro.datasets.botnet import flow_label, generate_botnet_flows
+    from repro.serving import AsyncStreamEngine, PipelineRouter, Route, TimedPipeline
+
+    print(f"training baseline pipelines: {', '.join(names)} ...")
+    routes = []
+    for name, pipeline, extractor in _build_serve_routes(names, args.seed):
+        if args.device_us > 0:
+            pipeline = TimedPipeline(pipeline, per_batch_s=args.device_us * 1e-6)
+        engine = AsyncStreamEngine(
+            pipeline,
+            extractor,
+            batch_size=args.batch_size,
+            max_latency=(
+                args.max_latency_us * 1e-6
+                if args.max_latency_us is not None else None
+            ),
+            queue_depth=args.queue_depth,
+            drop_policy=args.drop_policy,
+            infer_workers=args.infer_workers,
+        )
+        routes.append(Route(name, engine))
+    router = PipelineRouter(routes)
+
+    flows = generate_botnet_flows(args.flows, seed=args.seed + 1234)
+    tagged = []
+    for flow in flows:
+        label = flow_label(flow)
+        for packet in flow:
+            # ad and bd are labeled by the stream; tc classifies device
+            # classes this capture has no ground truth for.
+            tagged.append((packet.timestamp, packet, {"ad": label, "bd": label}))
+    tagged.sort(key=lambda item: item[0])
+    packets = [item[1] for item in tagged]
+    labels = [item[2] for item in tagged]
+    span = packets[-1].timestamp - packets[0].timestamp if len(packets) > 1 else 0.0
+    if args.speed > 0:
+        pacing = (f"{args.speed:g}x pacing, ~{span / args.speed:.0f} s "
+                  f"of wall clock for {span:.0f} s of capture")
+    else:
+        pacing = "unpaced"
+    print(f"replaying {len(packets)} packets across {len(flows)} flows ({pacing})")
+
+    router.process(packets, labels, speed=args.speed)
+    for name in names:
+        stats = router.stats[name]
+        summary = stats.summary()
+        accuracy = (
+            f"{summary['accuracy']:.3f}" if summary["accuracy"] is not None
+            else "n/a"
+        )
+        print(f"\n[{name}] {summary['packets']} packets, "
+              f"{summary['throughput_pps']:.0f} pkt/s, accuracy {accuracy}")
+        print(f"  batches: {summary['batches']} "
+              f"(mean {summary['mean_batch']:.1f} rows, "
+              f"{summary['deadline_flushes']} deadline flushes)")
+        print(f"  latency us: p50 {summary['latency_p50_us']:.0f}  "
+              f"p95 {summary['latency_p95_us']:.0f}  "
+              f"p99 {summary['latency_p99_us']:.0f}")
+        print(f"  queue depth max: {summary['queue_max_depth']}  "
+              f"drops: {summary['drops'] or 0}")
+    return 0
+
+
 def main(argv: "list | None" = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)

@@ -31,7 +31,43 @@ from repro.core.reports import CompileReport, ModelReport
 from repro.errors import InfeasibleError, SpecificationError
 from repro.rng import derive
 
-__all__ = ["generate", "CompileReport"]
+__all__ = ["generate", "CompileReport", "family_cache_path"]
+
+
+def family_cache_path(
+    cache_dir: str,
+    model_name: str,
+    algorithm: str,
+    dataset,
+    backend,
+    constraints: dict,
+    seed: int,
+    train_epochs: int,
+) -> str:
+    """Spill-file path for one (model, family) search context.
+
+    Spill files are keyed by the evaluation context, not just the
+    model/family name: an Evaluation is only reusable if it was produced
+    under the same seed, training length, backend, and constraints on
+    the same dataset.  The dataset is identified by shape **and** a
+    content digest — two same-shaped datasets with different values must
+    not share cached scores.  A run with any of those changed gets a
+    fresh spill instead of stale results.
+    """
+    context = "|".join(
+        [
+            model_name,
+            algorithm,
+            str(seed),
+            str(train_epochs),
+            backend.name,
+            repr(sorted(constraints.items())),
+            f"{dataset.train_x.shape}x{dataset.test_x.shape}",
+            dataset.content_digest(),
+        ]
+    )
+    digest = hashlib.md5(context.encode()).hexdigest()[:10]
+    return os.path.join(cache_dir, f"{model_name}_{algorithm}_{digest}.json")
 
 
 def _search_one_family(
@@ -59,25 +95,9 @@ def _search_one_family(
     space = build_design_space(algorithm, dataset, backend, limits)
     cache_path = None
     if cache_dir:
-        # Spill files are keyed by the evaluation context, not just the
-        # model/family name: an Evaluation is only reusable if it was
-        # produced under the same seed, training length, backend, and
-        # constraints on the same-shaped dataset.  A run with any of
-        # those changed gets a fresh spill instead of stale results.
-        context = "|".join(
-            [
-                model_spec.name,
-                algorithm,
-                str(seed),
-                str(train_epochs),
-                backend.name,
-                repr(sorted(constraints.items())),
-                f"{dataset.train_x.shape}x{dataset.test_x.shape}",
-            ]
-        )
-        digest = hashlib.md5(context.encode()).hexdigest()[:10]
-        cache_path = os.path.join(
-            cache_dir, f"{model_spec.name}_{algorithm}_{digest}.json"
+        cache_path = family_cache_path(
+            cache_dir, model_spec.name, algorithm, dataset, backend,
+            constraints, seed=seed, train_epochs=train_epochs,
         )
     cache = EvaluationCache(path=cache_path)
     evaluator = ModelEvaluator(

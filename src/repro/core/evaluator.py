@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import hashlib
 
-import numpy as np
 
 from repro.alchemy.model import Model
 from repro.backends.base import CompiledPipeline

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +62,32 @@ class Dataset:
     @property
     def n_test(self) -> int:
         return self.test_x.shape[0]
+
+    def content_digest(self, length: int = 12) -> str:
+        """Hex digest of the actual array *contents* (not just shapes).
+
+        Keys anything that must distinguish same-shaped datasets with
+        different values — e.g. the evaluation-cache spill files, where
+        a shape-only key would serve one dataset's cached scores to
+        another.  Arrays are hashed in C order with their dtypes, so the
+        digest is stable across processes and sessions.  The hash is
+        memoized per instance (the cache-key design treats the arrays
+        as immutable), so per-family key derivation reuses one pass.
+        """
+        digest = getattr(self, "_content_digest", None)
+        if digest is None:
+            hasher = hashlib.md5()
+            for array in (self.train_x, self.train_y, self.test_x, self.test_y):
+                contiguous = np.ascontiguousarray(array)
+                hasher.update(str(contiguous.dtype).encode())
+                hasher.update(str(contiguous.shape).encode())
+                hasher.update(contiguous.tobytes())
+            digest = hasher.hexdigest()
+            # Plain attribute, not metadata: metadata dicts are copied
+            # into derived datasets (subset_features, split_half) whose
+            # contents differ, and must not inherit this digest.
+            self._content_digest = digest
+        return digest[:length]
 
     def to_loader_dict(self) -> dict:
         """The Alchemy ``@DataLoader`` return structure (paper Figure 3)."""

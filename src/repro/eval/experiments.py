@@ -7,7 +7,6 @@ paper's scale).
 
 from __future__ import annotations
 
-import numpy as np
 
 import repro
 from repro.alchemy import DataLoader, Model, Platforms

@@ -215,6 +215,59 @@ class DecisionTreeClassifier(_BaseTree):
     def _impurity(self, y: np.ndarray) -> float:
         return _gini(np.bincount(y, minlength=len(self.classes_)))
 
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, float]:
+        """Gini split via prefix-sum class counts.
+
+        The base implementation re-bincounts both children at every
+        candidate threshold — O(n) numpy calls per position.  Here a
+        one-hot cumulative sum yields every left/right class-count table
+        in one vectorized pass per feature, mirroring the
+        :class:`DecisionTreeRegressor` treatment.  This is the hot path
+        of :class:`~repro.bayesopt.surrogate.FeasibilityModel`, which
+        refits a forest of these trees on every model-guided suggest
+        once feasibility labels are mixed.  Selection keeps the base
+        rule: scan positions in order, accept only > 1e-12 improvements.
+        """
+        parent = self._impurity(y)
+        n = y.shape[0]
+        n_classes = len(self.classes_)
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in self._candidate_features():
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            distinct = np.nonzero(np.diff(xs) > 0)[0]
+            if distinct.size == 0:
+                continue
+            left_n = distinct + 1
+            right_n = n - left_n
+            valid = (left_n >= self.min_samples_leaf) & (
+                right_n >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            onehot = np.zeros((n, n_classes))
+            onehot[np.arange(n), ys] = 1.0
+            cum = np.cumsum(onehot, axis=0)
+            counts_left = cum[distinct]                      # (m, K)
+            counts_right = cum[-1] - counts_left
+            p_left = counts_left / left_n[:, None]
+            p_right = counts_right / right_n[:, None]
+            gini_left = 1.0 - np.sum(p_left * p_left, axis=1)
+            gini_right = 1.0 - np.sum(p_right * p_right, axis=1)
+            gains = parent - (
+                left_n / n * gini_left + right_n / n * gini_right
+            )
+            for idx in np.nonzero(valid)[0]:
+                if gains[idx] > best_gain + 1e-12:
+                    best_gain = float(gains[idx])
+                    best_feature = int(feature)
+                    i = int(distinct[idx])
+                    best_threshold = float((xs[i] + xs[i + 1]) / 2.0)
+        return best_feature, best_threshold, best_gain
+
     def predict_proba(self, X) -> np.ndarray:
         X = np.asarray(X, dtype=float)
         out = np.zeros((X.shape[0], len(self.classes_)))

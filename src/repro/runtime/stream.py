@@ -67,7 +67,12 @@ class FlowmarkerTracker:
         return len(self._markers)
 
     def _evict_oldest(self) -> None:
-        oldest = min(self._last_seen, key=self._last_seen.get)
+        # ``_last_seen`` is kept least-recently-touched-first (touches
+        # re-insert, below), so the victim is simply the first key — O(1)
+        # instead of a full min() scan per eviction.  For time-ordered
+        # streams (what ``process_flows`` feeds) this is exactly the
+        # oldest-timestamp victim the scan used to pick.
+        oldest = next(iter(self._last_seen))
         del self._markers[oldest]
         del self._last_seen[oldest]
         self.evictions += 1
@@ -93,6 +98,7 @@ class FlowmarkerTracker:
                     f"non-monotonic timestamps within a conversation ({gap})"
                 )
             marker[self.spec.pl_bins + self.spec.ipt_bin(gap)] += 1.0
+            del self._last_seen[key]  # re-insert at the tail: LRU order
         self._last_seen[key] = packet.timestamp
         return marker.copy()
 
@@ -122,6 +128,35 @@ class StreamStats:
                 self.correct += 1
             key = (int(label), int(predicted))
             self.confusion[key] = self.confusion.get(key, 0) + 1
+
+    def record_batch(self, predictions, labels: "list | None" = None) -> None:
+        """Record a whole batch at once (numpy-vectorized counters).
+
+        ``labels`` may be ``None`` or a parallel list whose entries are
+        ``None`` for unlabeled packets.  The resulting counters are
+        identical to calling :meth:`record` per packet — the async
+        serving engine uses this to keep per-packet accounting cost off
+        its hot path.
+        """
+        predictions = np.asarray(predictions)
+        self.packets += int(predictions.shape[0])
+        for value, count in zip(*np.unique(predictions, return_counts=True)):
+            value = int(value)
+            self.class_counts[value] = self.class_counts.get(value, 0) + int(count)
+        if labels is None:
+            return
+        mask = np.array([label is not None for label in labels], dtype=bool)
+        if not mask.any():
+            return
+        true = np.array([int(label) for label in labels if label is not None])
+        pred = predictions[mask].astype(int)
+        self.labeled += int(mask.sum())
+        self.correct += int((true == pred).sum())
+        pairs, counts = np.unique(np.stack([true, pred], axis=1), axis=0,
+                                  return_counts=True)
+        for (t, p), count in zip(pairs, counts):
+            key = (int(t), int(p))
+            self.confusion[key] = self.confusion.get(key, 0) + int(count)
 
     @property
     def accuracy(self) -> "float | None":
@@ -164,8 +199,7 @@ class StreamProcessor:
         if not rows:
             return []
         predictions = self.pipeline.predict(np.stack(rows))
-        for prediction, label in zip(predictions, labels):
-            self.stats.record(int(prediction), label)
+        self.stats.record_batch(predictions, labels)
         return list(predictions)
 
     def process(

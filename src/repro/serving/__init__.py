@@ -1,0 +1,31 @@
+"""Async streaming serving runtime.
+
+``generate()`` produces a data-plane program; :mod:`repro.runtime` runs
+it synchronously.  This package is the *deployment* layer above both: an
+asyncio engine that pipelines **extract -> micro-batch -> infer ->
+record** through bounded queues with configurable backpressure, deadline
+micro-batching, deterministic trace replay, online latency percentiles,
+and multi-pipeline routing — so a software deployment behaves like a
+switch pipeline under load instead of an offline batch job.
+"""
+
+from repro.serving.batching import MicroBatcher
+from repro.serving.clock import VirtualClock, WallClock, replay
+from repro.serving.device import TimedPipeline
+from repro.serving.engine import DROP_POLICIES, AsyncStreamEngine
+from repro.serving.router import PipelineRouter, Route
+from repro.serving.stats import LatencyHistogram, ServingStats
+
+__all__ = [
+    "AsyncStreamEngine",
+    "DROP_POLICIES",
+    "MicroBatcher",
+    "PipelineRouter",
+    "Route",
+    "TimedPipeline",
+    "ServingStats",
+    "LatencyHistogram",
+    "VirtualClock",
+    "WallClock",
+    "replay",
+]

@@ -1,0 +1,111 @@
+"""Deadline-based micro-batching.
+
+Batching amortizes per-inference overhead, but a fixed batch size alone
+has a pathological tail: under light load the last packets of a lull
+wait forever for the batch to fill.  The :class:`MicroBatcher` flushes
+on **whichever comes first** of
+
+* ``batch_size`` items accumulated (throughput bound), or
+* ``max_latency`` seconds since the oldest buffered item reached the
+  batcher (latency bound),
+
+so per-packet queueing delay is capped even when the stream goes quiet
+— the standard deadline micro-batching contract of serving runtimes.
+With ``max_latency=None`` batches form purely by size, which keeps
+batch boundaries — and therefore downstream numerics — bit-identical to
+the synchronous :class:`~repro.runtime.stream.StreamProcessor`.
+
+Size flushes always emit exactly ``batch_size`` items; only deadline
+flushes and the end-of-stream drain emit partial batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import HomunculusError
+
+#: End-of-stream marker forwarded through stage queues.
+SENTINEL = object()
+
+
+class MicroBatcher:
+    """Group item *chunks* from an input queue into bounded batches.
+
+    The upstream stage enqueues lists of items (chunking keeps queue
+    traffic per *burst* rather than per packet, the descriptor-ring
+    idiom); the batcher re-slices them into batches for the inference
+    stage.
+
+    Parameters
+    ----------
+    batch_size:
+        flush as soon as this many items are buffered.
+    max_latency:
+        optional deadline in **seconds**: flush a partial batch once the
+        oldest buffered item has waited this long in the batcher.
+        Deadlines run on the event loop's wall clock — they bound real
+        host queueing delay and are deliberately independent of any
+        virtual replay clock.
+    on_flush:
+        optional callback ``(n_rows, deadline_flush: bool)`` for
+        telemetry (wired to :meth:`ServingStats.observe_batch`).
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 256,
+        max_latency: "float | None" = None,
+        on_flush=None,
+    ) -> None:
+        if batch_size < 1:
+            raise HomunculusError("batch_size must be >= 1")
+        if max_latency is not None and max_latency <= 0:
+            raise HomunculusError("max_latency must be positive (seconds)")
+        self.batch_size = int(batch_size)
+        self.max_latency = max_latency
+        self.on_flush = on_flush
+
+    async def run(self, q_in: asyncio.Queue, q_out: asyncio.Queue) -> None:
+        """Pump ``q_in`` into ``q_out`` until a :data:`SENTINEL` arrives.
+
+        ``q_in`` items are lists of entries (or the sentinel).  The
+        sentinel flushes any partial batch and is then forwarded so
+        downstream stages drain in order.
+        """
+        loop = asyncio.get_running_loop()
+        buffer: list = []
+        entered: list = []  # per-item batcher arrival, parallel to buffer
+
+        async def emit(count: int, deadline_flush: bool) -> None:
+            nonlocal buffer, entered
+            batch, buffer = buffer[:count], buffer[count:]
+            entered = entered[count:]
+            if self.on_flush is not None:
+                self.on_flush(len(batch), deadline_flush)
+            await q_out.put(batch)
+
+        while True:
+            if not buffer or self.max_latency is None:
+                chunk = await q_in.get()
+            else:
+                remaining = entered[0] + self.max_latency - loop.time()
+                if remaining <= 0:
+                    await emit(len(buffer), True)
+                    continue
+                try:
+                    chunk = await asyncio.wait_for(q_in.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    await emit(len(buffer), True)
+                    continue
+            if chunk is SENTINEL:
+                if buffer:
+                    await emit(len(buffer), False)
+                await q_out.put(SENTINEL)
+                return
+            buffer.extend(chunk)
+            if self.max_latency is not None:
+                now = loop.time()
+                entered.extend([now] * len(chunk))
+            while len(buffer) >= self.batch_size:
+                await emit(self.batch_size, False)

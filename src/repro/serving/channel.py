@@ -1,0 +1,83 @@
+"""A lean bounded SPSC channel for stage-to-stage queues.
+
+``asyncio.Queue`` is general (many producers, many consumers, task
+accounting) and pays for it on every operation; a serving pipeline only
+ever connects one producer stage to one consumer stage, and at line
+rate the queue operations *are* the hot path.  :class:`BoundedChannel`
+keeps the same bounded-FIFO semantics (including ``asyncio.QueueFull``
+/ ``asyncio.QueueEmpty`` on the non-blocking paths, so call sites read
+like queue code) with a plain deque fast path and futures only for the
+empty/full edges.
+
+Single producer, single consumer: at most one task may block in
+:meth:`get` and one in :meth:`put` at any time — exactly the stage
+topology of :class:`~repro.serving.engine.AsyncStreamEngine`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+
+class BoundedChannel:
+    """Bounded FIFO between exactly one producer and one consumer task."""
+
+    __slots__ = ("_items", "_depth", "_getter", "_putter")
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"channel depth must be >= 1, got {depth}")
+        self._items: deque = deque()
+        self._depth = int(depth)
+        self._getter: "asyncio.Future | None" = None
+        self._putter: "asyncio.Future | None" = None
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def full(self) -> bool:
+        return len(self._items) >= self._depth
+
+    def _wake(self, waiter: "asyncio.Future | None") -> None:
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    def put_nowait(self, item) -> None:
+        if len(self._items) >= self._depth:
+            raise asyncio.QueueFull
+        self._items.append(item)
+        if self._getter is not None:
+            self._wake(self._getter)
+            self._getter = None
+
+    async def put(self, item) -> None:
+        while len(self._items) >= self._depth:
+            waiter = asyncio.get_running_loop().create_future()
+            self._putter = waiter
+            try:
+                await waiter
+            finally:
+                if self._putter is waiter:
+                    self._putter = None
+        self.put_nowait(item)
+
+    def get_nowait(self):
+        if not self._items:
+            raise asyncio.QueueEmpty
+        item = self._items.popleft()
+        if self._putter is not None:
+            self._wake(self._putter)
+            self._putter = None
+        return item
+
+    async def get(self):
+        while not self._items:
+            waiter = asyncio.get_running_loop().create_future()
+            self._getter = waiter
+            try:
+                await waiter
+            finally:
+                if self._getter is waiter:
+                    self._getter = None
+        return self.get_nowait()

@@ -1,0 +1,113 @@
+"""Clocks and trace replay for the serving runtime.
+
+Serving behaviour (deadline flushes, latency percentiles, pacing) is all
+about *time*, which makes it miserable to test against the wall clock.
+Every serving component therefore reads time through a :class:`Clock`:
+
+* :class:`WallClock` — ``time.monotonic`` plus real ``asyncio.sleep``,
+  for live deployments and wall-clock benchmarks,
+* :class:`VirtualClock` — a manually advanced timeline whose ``sleep``
+  returns immediately after bumping the clock, so replaying an hour of
+  capture takes milliseconds and runs bit-identically every time.
+
+:func:`replay` turns a recorded packet list into a paced async stream:
+inter-packet gaps from the capture are honoured at a configurable speed
+multiplier (``speed=0`` streams as fast as the pipeline can drain).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Iterable, Sequence
+
+from repro.errors import HomunculusError
+
+#: How often (in items) an unpaced source yields to the event loop.  A
+#: coarse anti-starvation backstop only: fine-grained scheduling is the
+#: engine's job — its ingest stage yields on queue occupancy, so drop
+#: behaviour under tail-drop reflects queue depth and pipeline speed,
+#: not the source's yield stride.
+YIELD_EVERY = 1024
+
+
+class WallClock:
+    """Real time: monotonic reads, genuine asyncio sleeps."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(max(0.0, seconds))
+
+
+class VirtualClock:
+    """A deterministic timeline advanced only by ``sleep``/``advance``.
+
+    ``sleep`` yields to the event loop exactly once (so other tasks make
+    progress) but never waits in real time — a replayed trace runs as
+    fast as the CPU allows while every timestamp arithmetic stays exact.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise HomunculusError(f"cannot advance a clock by {seconds}")
+        self._now += seconds
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+        await asyncio.sleep(0)
+
+
+async def replay(
+    packets: Iterable,
+    labels: "Sequence | None" = None,
+    speed: float = 0.0,
+    clock: "WallClock | VirtualClock | None" = None,
+) -> AsyncIterator:
+    """Replay ``packets`` as an async ``(packet, label)`` stream.
+
+    Parameters
+    ----------
+    packets:
+        anything iterable of :class:`~repro.netsim.packet.Packet` (or any
+        object with a ``timestamp`` attribute).
+    labels:
+        optional per-packet labels, parallel to ``packets``.
+    speed:
+        pacing multiplier over capture time: ``1.0`` replays in real
+        time, ``10.0`` at 10x capture speed, ``0`` (the default) streams
+        back-to-back with no pacing at all.
+    clock:
+        the clock pacing sleeps are charged to (default wall clock).
+        With a :class:`VirtualClock` the replay is deterministic and
+        instant in real time.
+    """
+    if speed < 0:
+        raise HomunculusError(f"replay speed must be >= 0, got {speed}")
+    clock = clock if clock is not None else WallClock()
+    label_list = list(labels) if labels is not None else None
+    first_ts: "float | None" = None
+    start = clock.now()
+    for index, packet in enumerate(packets):
+        if speed > 0:
+            ts = float(packet.timestamp)
+            if first_ts is None:
+                first_ts = ts
+            due = start + (ts - first_ts) / speed
+            wait = due - clock.now()
+            if wait > 0:
+                await clock.sleep(wait)
+        label = label_list[index] if label_list is not None else None
+        yield packet, label
+        if speed == 0 and index % YIELD_EVERY == YIELD_EVERY - 1:
+            # Yield to the loop periodically so an unpaced replay cannot
+            # starve the downstream stages feeding off our queue puts.
+            await asyncio.sleep(0)

@@ -1,0 +1,105 @@
+"""Device service-time model for compiled pipelines.
+
+In a real Homunculus deployment the *model* runs on the switch (Taurus
+CGRA, Tofino MATs, FPGA) and the host runtime talks to it over a
+control channel: every inference batch pays a host<->device round trip
+(PCIe ring / gRPC to the switch agent) plus the device's own pipeline
+occupancy.  The functional simulators answer instantly, which hides
+exactly the cost a serving runtime exists to overlap.
+
+:class:`TimedPipeline` wraps any ``predict``-capable pipeline with that
+service time: predictions are computed functionally (bit-identical to
+the wrapped pipeline) and the call then blocks for the modelled device
+time.  The *same* wrapped object can drive both the synchronous
+:class:`~repro.runtime.stream.StreamProcessor` and the async engine, so
+sync-vs-async comparisons charge identical device costs to both sides —
+only the host's ability to overlap them differs.  The sleep happens
+with the GIL released (plain ``time.sleep``), as a real blocking RPC
+would, which is what lets executor threads keep multiple batches in
+flight the way the hardware pipelines packets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import HomunculusError
+
+
+class TimedPipeline:
+    """Wrap ``pipeline.predict`` with a per-call device service time.
+
+    Parameters
+    ----------
+    pipeline:
+        anything with ``predict(X) -> labels``.
+    per_batch_s:
+        fixed round-trip overhead per predict call (host<->device).
+    per_row_s:
+        marginal device occupancy per row; defaults to the wrapped
+        pipeline's reported per-packet initiation interval when it
+        carries a :class:`~repro.backends.base.PerformanceEstimate`
+        (``1 / throughput_gpps`` nanoseconds), else 0.
+    max_channels:
+        how many service calls the device accepts concurrently (a
+        hardware pipeline overlaps batches in flight; 0 = unlimited).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        per_batch_s: float = 200e-6,
+        per_row_s: "float | None" = None,
+        max_channels: int = 0,
+    ) -> None:
+        if not hasattr(pipeline, "predict"):
+            raise HomunculusError("pipeline must expose predict()")
+        if per_batch_s < 0:
+            raise HomunculusError("per_batch_s must be >= 0")
+        if max_channels < 0:
+            raise HomunculusError("max_channels must be >= 0")
+        if per_row_s is None:
+            per_row_s = 0.0
+            performance = getattr(pipeline, "performance", None)
+            if performance is not None:
+                throughput = getattr(performance, "throughput_gpps", None)
+                if throughput:
+                    per_row_s = 1e-9 / float(throughput)
+        elif per_row_s < 0:
+            raise HomunculusError("per_row_s must be >= 0")
+        self.pipeline = pipeline
+        self.per_batch_s = float(per_batch_s)
+        self.per_row_s = float(per_row_s)
+        self.calls = 0
+        self.busy_s = 0.0
+        self._lock = threading.Lock()
+        self._gate = (
+            threading.Semaphore(max_channels) if max_channels > 0 else None
+        )
+
+    def service_time(self, n_rows: int) -> float:
+        """Modelled device time for one batch of ``n_rows``."""
+        return self.per_batch_s + self.per_row_s * int(n_rows)
+
+    def predict(self, X):
+        """Functionally exact predictions, paced at device speed."""
+        if self._gate is not None:
+            self._gate.acquire()
+        try:
+            out = self.pipeline.predict(X)
+            wait = self.service_time(len(X))
+            if wait > 0:
+                time.sleep(wait)
+        finally:
+            if self._gate is not None:
+                self._gate.release()
+        with self._lock:
+            self.calls += 1
+            self.busy_s += wait
+        return out
+
+    def __getattr__(self, name: str):
+        # Transparent proxy for everything predict() doesn't cover
+        # (performance, resources, metadata, check, ...).
+        return getattr(self.pipeline, name)

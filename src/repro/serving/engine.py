@@ -1,0 +1,319 @@
+"""The asyncio serving engine: extract -> batch -> infer -> record.
+
+The synchronous :class:`~repro.runtime.stream.StreamProcessor` alternates
+feature extraction and model inference on one thread, so the host idles
+while the device serves a batch and the device idles while the host
+extracts the next one.  :class:`AsyncStreamEngine` runs the four stages
+as concurrent tasks connected by **bounded** queues, the software
+analogue of a switch pipeline's fixed-depth stage FIFOs:
+
+* **extract** — per-packet feature extraction (stateful, sequential:
+  conversation state must see packets in arrival order),
+* **micro-batch** — :class:`~repro.serving.batching.MicroBatcher`
+  (flush on size or deadline, whichever first),
+* **infer** — ``pipeline.predict`` on an executor thread, with up to
+  ``infer_workers`` batches in flight (a hardware pipeline overlaps
+  batches; results are re-sequenced so output order never changes),
+* **record** — in-order statistics, latency stamps, predictions.
+
+Backpressure at the ingress queue is configurable:
+
+* ``"block"`` — lossless: a full queue stalls the source (replay waits),
+  predictions are bit-identical to the synchronous processor,
+* ``"tail-drop"`` — a full queue drops the arriving packet and counts
+  it, emulating the fixed-depth ingress queue of a switch under load.
+
+Intermediate queues always block: they are host-internal, and dropping
+mid-pipeline would tear batches apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import AsyncIterator, Iterable
+
+import numpy as np
+
+from repro.errors import HomunculusError
+from repro.serving.batching import SENTINEL, MicroBatcher
+from repro.serving.channel import BoundedChannel
+from repro.serving.clock import YIELD_EVERY, VirtualClock, WallClock, replay
+from repro.serving.stats import ServingStats
+
+#: Supported ingress backpressure policies.
+DROP_POLICIES = ("block", "tail-drop")
+
+
+async def _aiter(source) -> AsyncIterator:
+    """Adapt a plain iterable to the async-iterator stage contract."""
+    if hasattr(source, "__aiter__"):
+        async for item in source:
+            yield item
+    else:
+        for index, item in enumerate(source):
+            yield item
+            if index % YIELD_EVERY == YIELD_EVERY - 1:
+                await asyncio.sleep(0)
+
+
+class AsyncStreamEngine:
+    """Pipelined async serving over a compiled pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        anything with ``predict(X) -> labels`` (a compiled pipeline, raw
+        simulator, or :class:`~repro.serving.device.TimedPipeline`).
+    extractor:
+        a :class:`~repro.runtime.stream.PacketFeatureExtractor` or
+        :class:`~repro.runtime.stream.FlowmarkerTracker`.
+    batch_size / max_latency:
+        micro-batch flush bounds (``max_latency`` in seconds, ``None``
+        disables the deadline — pure size batching, sync-identical
+        boundaries).  Deadlines are measured on the host's event-loop
+        clock regardless of ``clock``: they bound real host queueing
+        delay, so batch boundaries under a deadline are wall-time
+        behaviour, not replay-time (predictions per row are unaffected;
+        for bit-exact repeated runs use ``max_latency=None``).
+    queue_depth:
+        capacity of every stage queue (the switch FIFO depth).
+    drop_policy:
+        ingress behaviour when the queue is full (see module docstring).
+    infer_workers:
+        executor threads / maximum inference batches in flight.
+    clock:
+        time source for latency stamps and pacing (default wall clock).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        extractor,
+        batch_size: int = 256,
+        max_latency: "float | None" = None,
+        queue_depth: int = 1024,
+        drop_policy: str = "block",
+        infer_workers: int = 2,
+        clock: "WallClock | VirtualClock | None" = None,
+        stats: "ServingStats | None" = None,
+    ) -> None:
+        if not hasattr(pipeline, "predict"):
+            raise HomunculusError("pipeline must expose predict()")
+        if not hasattr(extractor, "extract"):
+            raise HomunculusError("extractor must expose extract()")
+        if queue_depth < 1:
+            raise HomunculusError("queue_depth must be >= 1")
+        if drop_policy not in DROP_POLICIES:
+            raise HomunculusError(
+                f"drop_policy must be one of {DROP_POLICIES}, got {drop_policy!r}"
+            )
+        if infer_workers < 1:
+            raise HomunculusError("infer_workers must be >= 1")
+        self.pipeline = pipeline
+        self.extractor = extractor
+        self.batcher = MicroBatcher(
+            batch_size=batch_size,
+            max_latency=max_latency,
+            on_flush=self._on_flush,
+        )
+        self.queue_depth = int(queue_depth)
+        self.drop_policy = drop_policy
+        self.infer_workers = int(infer_workers)
+        self.clock = clock if clock is not None else WallClock()
+        self.stats = stats if stats is not None else ServingStats()
+
+    def _on_flush(self, rows: int, deadline: bool) -> None:
+        self.stats.observe_batch(rows, deadline)
+
+    # -- stages ----------------------------------------------------------
+    async def _ingest(self, source, q_in: BoundedChannel) -> None:
+        """Admit packets at the ingress queue under the drop policy.
+
+        ``put_nowait`` is the fast path in both policies; a blocking
+        engine falls back to an awaited put when the queue is full.
+        Scheduling fairness is driven by queue *occupancy*, not source
+        stride: once the ingress queue is half full the ingest yields so
+        the draining stages get the CPU before anything overflows —
+        tail-drop counts then reflect genuine pipeline overload rather
+        than cooperative-scheduling artifacts of the source.
+        """
+        stats = self.stats
+        blocking = self.drop_policy == "block"
+        now = self.clock.now
+        half = max(1, self.queue_depth // 2)
+        admitted = 0
+        if not hasattr(source, "__aiter__"):
+            source = _aiter(source)
+        async for item in source:
+            if isinstance(item, tuple):
+                packet, label = item
+            else:
+                packet, label = item, None
+            entry = (packet, label, now())
+            try:
+                q_in.put_nowait(entry)
+            except asyncio.QueueFull:
+                if blocking:
+                    await q_in.put(entry)
+                else:
+                    await asyncio.sleep(0)  # let the drain stages run
+                    try:
+                        q_in.put_nowait(entry)
+                    except asyncio.QueueFull:
+                        stats.drop("ingress")
+                        continue
+            stats.enqueued += 1
+            admitted += 1
+            if admitted % 32 == 0:
+                stats.observe_queue("ingress", q_in.qsize())
+            if q_in.qsize() >= half:
+                await asyncio.sleep(0)
+        await q_in.put(SENTINEL)
+
+    async def _extract(self, q_in: BoundedChannel, q_rows: BoundedChannel) -> None:
+        """Sequential stateful feature extraction in arrival order.
+
+        Drains the ingress queue greedily and forwards extracted rows as
+        one chunk per drain (the descriptor-ring idiom): queue traffic
+        scales with bursts, not packets, which keeps the async overhead
+        per packet far below the extraction work itself.
+        """
+        extract = self.extractor.extract
+        while True:
+            item = await q_in.get()
+            chunk: list = []
+            done = False
+            while True:
+                if item is SENTINEL:
+                    done = True
+                    break
+                packet, label, t_arrival = item
+                chunk.append((extract(packet), label, t_arrival))
+                try:
+                    item = q_in.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            if chunk:
+                await q_rows.put(chunk)
+            if done:
+                await q_rows.put(SENTINEL)
+                return
+
+    async def _infer(self, q_batches: BoundedChannel, q_done: asyncio.Queue) -> None:
+        """Run predict() on executor threads, several batches in flight."""
+        loop = asyncio.get_running_loop()
+        gate = asyncio.Semaphore(self.infer_workers)
+        inflight: set = set()
+        sequence = 0
+
+        async def serve(seq: int, batch: list) -> None:
+            try:
+                rows = np.stack([row for row, _, _ in batch])
+                predictions = await loop.run_in_executor(
+                    self._executor, self.pipeline.predict, rows
+                )
+                await q_done.put((seq, batch, predictions))
+            finally:
+                gate.release()
+
+        try:
+            while True:
+                batch = await q_batches.get()
+                if batch is SENTINEL:
+                    break
+                self.stats.observe_queue("infer", q_batches.qsize())
+                await gate.acquire()
+                task = asyncio.create_task(serve(sequence, batch))
+                sequence += 1
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+            if inflight:
+                await asyncio.gather(*inflight)
+            await q_done.put(SENTINEL)
+        finally:
+            for task in inflight:
+                task.cancel()
+
+    async def _record(self, q_done: asyncio.Queue, out: list) -> None:
+        """Re-sequence finished batches; record stats in arrival order."""
+        stats = self.stats
+        pending: dict = {}
+        expected = 0
+        while True:
+            item = await q_done.get()
+            if item is SENTINEL:
+                return
+            seq, batch, predictions = item
+            pending[seq] = (batch, predictions)
+            while expected in pending:
+                batch, predictions = pending.pop(expected)
+                now = self.clock.now()
+                labels = [label for _, label, _ in batch]
+                stats.record_batch(predictions, labels)
+                stats.latency.observe_batch(
+                    [now - t_arrival for _, _, t_arrival in batch]
+                )
+                out.extend(predictions)
+                expected += 1
+
+    # -- driver ----------------------------------------------------------
+    async def run(self, source) -> list:
+        """Drive ``source`` through the pipeline; return predictions.
+
+        ``source`` is any (async) iterable of ``Packet`` or
+        ``(Packet, label)`` items — typically
+        :func:`repro.serving.clock.replay`.  The engine drains cleanly
+        when the source ends; cancelling the coroutine cancels every
+        stage task and the inference executor without leaking tasks.
+        """
+        q_in = BoundedChannel(self.queue_depth)
+        q_rows = BoundedChannel(self.queue_depth)
+        q_batches = BoundedChannel(
+            max(1, self.queue_depth // self.batcher.batch_size)
+        )
+        # q_done has several producers (in-flight inference tasks), so it
+        # stays a general asyncio.Queue; traffic is per batch, not per
+        # packet.
+        q_done: asyncio.Queue = asyncio.Queue()
+        out: list = []
+        self.stats.started_at = self.clock.now()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.infer_workers,
+            thread_name_prefix="serving-infer",
+        )
+        tasks = [
+            asyncio.create_task(self._ingest(source, q_in), name="serving-ingest"),
+            asyncio.create_task(self._extract(q_in, q_rows), name="serving-extract"),
+            asyncio.create_task(
+                self.batcher.run(q_rows, q_batches), name="serving-batch"
+            ),
+            asyncio.create_task(self._infer(q_batches, q_done), name="serving-infer"),
+            asyncio.create_task(self._record(q_done, out), name="serving-record"),
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self.stats.finished_at = self.clock.now()
+        return out
+
+    def process(
+        self,
+        packets: Iterable,
+        labels: "Iterable | None" = None,
+        speed: float = 0.0,
+    ) -> list:
+        """Synchronous convenience wrapper around :meth:`run`.
+
+        Mirrors :meth:`StreamProcessor.process`: feeds ``packets`` (with
+        optional parallel ``labels``) through a :func:`replay` source at
+        ``speed`` and returns the in-order predictions.
+        """
+        labels = list(labels) if labels is not None else None
+        return asyncio.run(
+            self.run(replay(packets, labels, speed=speed, clock=self.clock))
+        )

@@ -1,0 +1,127 @@
+"""Multi-pipeline routing: several compiled pipelines, one ingest stream.
+
+Real data planes run more than one model at once — the paper's §5
+applications (anomaly detection, traffic classification, botnet
+detection) can share a switch, each parsing its own features from the
+same packets.  :class:`PipelineRouter` mirrors that: a single source
+stream fans out to any number of :class:`AsyncStreamEngine` routes,
+each with its own extractor, batching, queueing, and statistics.
+
+Fan-out is lossless at the router: every route gets its own bounded
+feed queue and the router blocks on the slowest one, so backpressure
+propagates to the shared source (drops, if configured, happen inside
+each engine's ingress queue where they are counted per route).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import HomunculusError
+from repro.serving.batching import SENTINEL
+from repro.serving.channel import BoundedChannel
+from repro.serving.clock import replay
+from repro.serving.engine import AsyncStreamEngine, _aiter
+
+
+@dataclass
+class Route:
+    """One pipeline behind the router.
+
+    Attributes
+    ----------
+    name:
+        route key; selects this route's label out of a per-packet label
+        dict and keys the result/stats maps.
+    engine:
+        the :class:`AsyncStreamEngine` serving this route.
+    accept:
+        optional predicate ``(packet) -> bool``; packets it rejects skip
+        this route entirely (an ingress match filter).
+    """
+
+    name: str
+    engine: AsyncStreamEngine
+    accept: "Callable | None" = None
+
+
+class PipelineRouter:
+    """Fan one packet stream out to several serving engines."""
+
+    def __init__(self, routes: Iterable[Route]) -> None:
+        self.routes = list(routes)
+        if not self.routes:
+            raise HomunculusError("router needs at least one route")
+        names = [route.name for route in self.routes]
+        if len(set(names)) != len(names):
+            raise HomunculusError(f"duplicate route names: {names}")
+
+    @property
+    def stats(self) -> dict:
+        """Per-route :class:`ServingStats`, keyed by route name."""
+        return {route.name: route.engine.stats for route in self.routes}
+
+    async def run(self, source) -> dict:
+        """Drive every route from one stream; return per-route predictions.
+
+        ``source`` yields ``Packet`` or ``(Packet, labels)`` where
+        ``labels`` is either a scalar applied to every route or a dict
+        keyed by route name (missing routes run unlabeled).
+        """
+        feeds = {
+            route.name: BoundedChannel(route.engine.queue_depth)
+            for route in self.routes
+        }
+
+        async def feed_route(name: str):
+            queue = feeds[name]
+            while True:
+                item = await queue.get()
+                if item is SENTINEL:
+                    return
+                yield item
+
+        async def fan_out() -> None:
+            async for item in _aiter(source):
+                if isinstance(item, tuple):
+                    packet, labels = item
+                else:
+                    packet, labels = item, None
+                for route in self.routes:
+                    if route.accept is not None and not route.accept(packet):
+                        continue
+                    if isinstance(labels, dict):
+                        label = labels.get(route.name)
+                    else:
+                        label = labels
+                    await feeds[route.name].put((packet, label))
+            for route in self.routes:
+                await feeds[route.name].put(SENTINEL)
+
+        tasks = [asyncio.create_task(fan_out(), name="router-fanout")]
+        runs = {}
+        for route in self.routes:
+            runs[route.name] = asyncio.create_task(
+                route.engine.run(feed_route(route.name)),
+                name=f"router-{route.name}",
+            )
+            tasks.append(runs[route.name])
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        return {name: task.result() for name, task in runs.items()}
+
+    def process(
+        self,
+        packets: Iterable,
+        labels: "Iterable | None" = None,
+        speed: float = 0.0,
+    ) -> dict:
+        """Synchronous convenience wrapper around :meth:`run`."""
+        labels = list(labels) if labels is not None else None
+        return asyncio.run(self.run(replay(packets, labels, speed=speed)))

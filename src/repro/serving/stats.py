@@ -1,0 +1,180 @@
+"""Online serving statistics: latency percentiles, queues, drops.
+
+:class:`ServingStats` extends the runtime's :class:`StreamStats` (packet
+counts, accuracy, confusion) with the operator-facing signals a serving
+runtime must report — end-to-end latency percentiles, per-stage queue
+depths, drop counters, batch sizes and throughput — all maintained
+online in O(1) memory, the way a switch keeps telemetry registers
+rather than logging per-packet records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HomunculusError
+from repro.runtime.stream import StreamStats
+
+
+class LatencyHistogram:
+    """Log-binned latency histogram with online percentile queries.
+
+    Fixed log-spaced bins (default 1 us .. 100 s) bound memory while
+    keeping relative error a few percent per bin — the same trade an
+    HDR-style telemetry register file makes in hardware.
+    """
+
+    def __init__(
+        self,
+        low: float = 1e-6,
+        high: float = 100.0,
+        bins_per_decade: int = 16,
+    ) -> None:
+        if not 0 < low < high:
+            raise HomunculusError("need 0 < low < high for latency bins")
+        decades = np.log10(high / low)
+        n_bins = max(1, int(round(decades * bins_per_decade)))
+        self._edges = np.geomspace(low, high, n_bins + 1)
+        self._counts = np.zeros(n_bins + 2, dtype=np.int64)  # +under/overflow
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.min = float("inf")
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            seconds = 0.0
+        self._counts[int(np.searchsorted(self._edges, seconds, side="right"))] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if seconds < self.min:
+            self.min = seconds
+
+    def observe_batch(self, seconds) -> None:
+        """Vectorized :meth:`observe` over an array of latencies."""
+        seconds = np.maximum(np.asarray(seconds, dtype=float), 0.0)
+        if seconds.size == 0:
+            return
+        bins = np.searchsorted(self._edges, seconds, side="right")
+        self._counts += np.bincount(bins, minlength=self._counts.size)
+        self.count += int(seconds.size)
+        self.total += float(seconds.sum())
+        self.max = max(self.max, float(seconds.max()))
+        self.min = min(self.min, float(seconds.min()))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper edge of the bin holding the ``q``-th percentile (0..100)."""
+        if not 0 <= q <= 100:
+            raise HomunculusError(f"percentile wants 0..100, got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cum = np.cumsum(self._counts)
+        index = int(np.searchsorted(cum, rank, side="left"))
+        if index == 0:
+            return float(self._edges[0])
+        if index >= len(self._edges):
+            return self.max
+        return float(self._edges[index])
+
+
+@dataclass
+class QueueGauge:
+    """Depth telemetry for one bounded queue."""
+
+    max_depth: int = 0
+    _sum: int = 0
+    _samples: int = 0
+
+    def observe(self, depth: int) -> None:
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self._sum += depth
+        self._samples += 1
+
+    @property
+    def mean_depth(self) -> float:
+        return self._sum / self._samples if self._samples else 0.0
+
+
+@dataclass
+class ServingStats(StreamStats):
+    """Stream accuracy counters plus serving-runtime telemetry.
+
+    The inherited :class:`StreamStats` fields stay bit-compatible with
+    the synchronous :class:`~repro.runtime.stream.StreamProcessor`, so a
+    block-mode async run can be compared field-for-field against the
+    sync baseline.
+    """
+
+    enqueued: int = 0
+    drops: dict = field(default_factory=dict)
+    batches: int = 0
+    batch_rows: int = 0
+    deadline_flushes: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queues: dict = field(default_factory=dict)
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+
+    def drop(self, stage: str, n: int = 1) -> None:
+        self.drops[stage] = self.drops.get(stage, 0) + n
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def observe_queue(self, stage: str, depth: int) -> None:
+        gauge = self.queues.get(stage)
+        if gauge is None:
+            gauge = self.queues[stage] = QueueGauge()
+        gauge.observe(depth)
+
+    def observe_batch(self, rows: int, deadline: bool = False) -> None:
+        self.batches += 1
+        self.batch_rows += rows
+        if deadline:
+            self.deadline_flushes += 1
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batch_rows / self.batches if self.batches else 0.0
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput_pps(self) -> float:
+        elapsed = self.elapsed
+        return self.packets / elapsed if elapsed > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Operator-facing snapshot (all scalars, JSON-friendly)."""
+        return {
+            "packets": self.packets,
+            "enqueued": self.enqueued,
+            "dropped": self.dropped,
+            "drops": dict(self.drops),
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 2),
+            "deadline_flushes": self.deadline_flushes,
+            "accuracy": self.accuracy,
+            "throughput_pps": round(self.throughput_pps, 1),
+            "latency_p50_us": round(self.latency.percentile(50) * 1e6, 1),
+            "latency_p95_us": round(self.latency.percentile(95) * 1e6, 1),
+            "latency_p99_us": round(self.latency.percentile(99) * 1e6, 1),
+            "latency_max_us": round(self.latency.max * 1e6, 1),
+            "queue_max_depth": {s: g.max_depth for s, g in self.queues.items()},
+        }

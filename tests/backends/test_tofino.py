@@ -6,7 +6,6 @@ import pytest
 from repro.backends.tofino import MatInterpreter, TofinoBackend, TofinoModel
 from repro.backends.tofino.iisy import lower_kmeans, lower_svm, lower_tree
 from repro.backends.tofino.mat import (
-    DecisionTable,
     FeatureScoreTable,
     MatPipeline,
     RangeEntry,

@@ -1,6 +1,5 @@
 """Tests for scalarization-based multi-objective BO."""
 
-import numpy as np
 import pytest
 
 from repro.bayesopt.multiobjective import MultiObjectiveBayesianOptimizer

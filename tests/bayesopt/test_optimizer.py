@@ -6,7 +6,7 @@ import pytest
 from repro.bayesopt.optimizer import BayesianOptimizer, RandomSearchOptimizer
 from repro.bayesopt.results import Evaluation, OptimizationResult
 from repro.bayesopt.scalarization import RandomScalarizer, pareto_front
-from repro.bayesopt.space import Categorical, DesignSpace, Integer, Real
+from repro.bayesopt.space import DesignSpace, Integer
 from repro.errors import DesignSpaceError
 
 

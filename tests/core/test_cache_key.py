@@ -1,0 +1,78 @@
+"""Spill-file keys must distinguish datasets by content, not just shape."""
+
+import numpy as np
+
+from repro.backends.taurus import TaurusBackend
+from repro.core.compiler import family_cache_path
+from repro.datasets.base import Dataset
+
+
+def make_dataset(fill: float, name: str = "d") -> Dataset:
+    rng = np.random.default_rng(0)
+    train_x = rng.normal(size=(20, 4)) + fill
+    test_x = rng.normal(size=(8, 4)) + fill
+    return Dataset(
+        train_x=train_x,
+        train_y=np.array([0, 1] * 10),
+        test_x=test_x,
+        test_y=np.array([0, 1] * 4),
+        name=name,
+    )
+
+
+class TestContentDigest:
+    def test_same_contents_same_digest(self):
+        assert make_dataset(0.0).content_digest() == make_dataset(0.0).content_digest()
+
+    def test_different_contents_different_digest(self):
+        assert make_dataset(0.0).content_digest() != make_dataset(1.0).content_digest()
+
+    def test_label_change_changes_digest(self):
+        a = make_dataset(0.0)
+        b = make_dataset(0.0)
+        b.train_y = b.train_y.copy()
+        b.train_y[0] = 1 - b.train_y[0]
+        assert a.content_digest() != b.content_digest()
+
+    def test_memoized_digest_not_inherited_by_derived_datasets(self):
+        a = make_dataset(0.0)
+        full = a.content_digest()  # memoize on the parent
+        subset = a.subset_features([0, 1])
+        assert subset.content_digest() != full
+        half_a, _ = a.split_half(seed=0)
+        assert half_a.content_digest() != full
+
+
+class TestFamilyCachePath:
+    def kwargs(self):
+        return dict(
+            cache_dir="cache",
+            model_name="m",
+            algorithm="dnn",
+            backend=TaurusBackend(),
+            constraints={"resources": {"rows": 16}},
+            seed=0,
+            train_epochs=30,
+        )
+
+    def test_same_shape_different_contents_distinct_spills(self):
+        # The ROADMAP collision: identical shapes, different values.
+        a = make_dataset(0.0)
+        b = make_dataset(1.0)
+        assert a.train_x.shape == b.train_x.shape
+        path_a = family_cache_path(dataset=a, **self.kwargs())
+        path_b = family_cache_path(dataset=b, **self.kwargs())
+        assert path_a != path_b
+
+    def test_identical_context_reuses_spill(self):
+        a = make_dataset(0.5)
+        b = make_dataset(0.5)
+        assert family_cache_path(dataset=a, **self.kwargs()) == \
+            family_cache_path(dataset=b, **self.kwargs())
+
+    def test_seed_change_gets_fresh_spill(self):
+        a = make_dataset(0.5)
+        base = self.kwargs()
+        changed = dict(base, seed=1)
+        assert family_cache_path(dataset=a, **base) != \
+            family_cache_path(dataset=a, **changed)

@@ -1,6 +1,5 @@
 """Tests for binary trace persistence and HyperMapper scenario files."""
 
-import numpy as np
 import pytest
 
 from repro.bayesopt.scenario import (

@@ -1,0 +1,96 @@
+"""Tests for multi-pipeline routing over a shared ingest stream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HomunculusError
+from repro.netsim.packet import PROTO_TCP, PROTO_UDP, Packet
+from repro.runtime import FlowmarkerTracker, PacketFeatureExtractor
+from repro.serving import AsyncStreamEngine, PipelineRouter, Route
+
+
+def make_packet(ts=0.0, size=100, src=1, dst=2, protocol=PROTO_TCP):
+    return Packet(timestamp=ts, size=size, src_ip=src, dst_ip=dst,
+                  src_port=1000, dst_port=2000, protocol=protocol)
+
+
+class SizePipeline:
+    def predict(self, X):
+        return (np.asarray(X)[:, 0] > 500).astype(int)
+
+
+class CountPipeline:
+    """Predicts from the flowmarker packet count (first-bin mass)."""
+
+    def predict(self, X):
+        return (np.asarray(X).sum(axis=1) > 2).astype(int)
+
+
+def build_router():
+    ad = AsyncStreamEngine(SizePipeline(), PacketFeatureExtractor(),
+                           batch_size=16)
+    bd = AsyncStreamEngine(CountPipeline(),
+                           FlowmarkerTracker(max_conversations=64),
+                           batch_size=16)
+    return ad, bd, PipelineRouter([Route("ad", ad), Route("bd", bd)])
+
+
+class TestPipelineRouter:
+    def test_routes_share_one_stream(self):
+        ad, bd, router = build_router()
+        packets = [make_packet(ts=float(i), size=600 if i % 2 else 100)
+                   for i in range(64)]
+        results = router.process(packets)
+        assert set(results) == {"ad", "bd"}
+        assert len(results["ad"]) == 64
+        assert len(results["bd"]) == 64
+        assert ad.stats.packets == bd.stats.packets == 64
+        # Each route ran its own extractor: AD saw per-packet features,
+        # BD accumulated conversation state.
+        assert [int(p) for p in results["ad"]] == [i % 2 for i in range(64)]
+
+    def test_per_route_labels_from_dict(self):
+        _, _, router = build_router()
+        packets = [make_packet(ts=float(i), size=600) for i in range(8)]
+        labels = [{"ad": 1} for _ in packets]  # bd stays unlabeled
+        results = router.process(packets, labels)
+        stats = router.stats
+        assert stats["ad"].labeled == 8
+        assert stats["ad"].accuracy == 1.0
+        assert stats["bd"].labeled == 0
+        assert len(results["bd"]) == 8
+
+    def test_scalar_label_applies_to_all_routes(self):
+        _, _, router = build_router()
+        packets = [make_packet(ts=float(i), size=600) for i in range(4)]
+        router.process(packets, labels=[1, 1, 1, 1])
+        stats = router.stats
+        assert stats["ad"].labeled == 4
+        assert stats["bd"].labeled == 4
+
+    def test_accept_filter_partitions_traffic(self):
+        ad = AsyncStreamEngine(SizePipeline(), PacketFeatureExtractor(),
+                               batch_size=4)
+        bd = AsyncStreamEngine(SizePipeline(), PacketFeatureExtractor(),
+                               batch_size=4)
+        router = PipelineRouter([
+            Route("tcp", ad, accept=lambda p: p.protocol == PROTO_TCP),
+            Route("udp", bd, accept=lambda p: p.protocol == PROTO_UDP),
+        ])
+        packets = [
+            make_packet(ts=float(i),
+                        protocol=PROTO_TCP if i < 10 else PROTO_UDP)
+            for i in range(25)
+        ]
+        results = router.process(packets)
+        assert len(results["tcp"]) == 10
+        assert len(results["udp"]) == 15
+
+    def test_duplicate_names_rejected(self):
+        engine = AsyncStreamEngine(SizePipeline(), PacketFeatureExtractor())
+        with pytest.raises(HomunculusError):
+            PipelineRouter([Route("x", engine), Route("x", engine)])
+
+    def test_empty_router_rejected(self):
+        with pytest.raises(HomunculusError):
+            PipelineRouter([])

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_serve_parser, main
 from repro.datasets import load_nslkdd, save_csv_dataset
 
 
@@ -43,6 +43,56 @@ class TestParser:
         assert args.workers == 4
         assert args.batch_size == 2
         assert args.cache_dir == "cache/"
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.pipelines == "bd"
+        assert args.batch_size == 256
+        assert args.max_latency_us is None
+        assert args.queue_depth == 1024
+        assert args.drop_policy == "block"
+
+    def test_all_flags_parse(self):
+        args = build_serve_parser().parse_args(
+            ["--pipelines", "bd,tc", "--batch-size", "64",
+             "--max-latency-us", "500", "--queue-depth", "128",
+             "--drop-policy", "tail-drop", "--infer-workers", "4",
+             "--speed", "10", "--device-us", "250", "--flows", "50"]
+        )
+        assert args.pipelines == "bd,tc"
+        assert args.batch_size == 64
+        assert args.max_latency_us == 500.0
+        assert args.queue_depth == 128
+        assert args.drop_policy == "tail-drop"
+        assert args.infer_workers == 4
+        assert args.speed == 10.0
+        assert args.device_us == 250.0
+
+    def test_bad_drop_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--drop-policy", "head-drop"])
+
+    def test_unknown_pipeline_errors(self, capsys):
+        assert main(["serve", "--pipelines", "bd,nope"]) == 2
+        assert "--pipelines" in capsys.readouterr().err
+
+    def test_bad_queue_depth_errors(self, capsys):
+        assert main(["serve", "--queue-depth", "0"]) == 2
+        assert "--queue-depth" in capsys.readouterr().err
+
+    def test_serve_end_to_end_tail_drop(self, capsys):
+        code = main(
+            ["serve", "--pipelines", "bd", "--flows", "30",
+             "--batch-size", "32", "--max-latency-us", "2000",
+             "--queue-depth", "64", "--drop-policy", "tail-drop",
+             "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[bd]" in out
+        assert "latency us" in out
 
 
 class TestMain:

@@ -9,7 +9,6 @@ import pytest
 
 import repro
 from repro.alchemy import DataLoader, Model, Platforms
-from repro.backends.base import Backend
 from repro.backends.registry import register_backend
 from repro.backends.taurus import TaurusBackend
 from repro.backends.taurus.ir import lower_network

@@ -12,7 +12,6 @@ from repro.datasets.botnet import (
 from repro.errors import HomunculusError
 from repro.eval.baselines import train_baseline_dnn
 from repro.datasets import load_botnet
-from repro.netsim.flow import Flow
 from repro.netsim.packet import Packet
 from repro.runtime import (
     FlowmarkerTracker,
@@ -87,6 +86,45 @@ class TestFlowmarkerTracker:
         tracker.extract(make_packet(ts=5.0))
         with pytest.raises(HomunculusError):
             tracker.extract(make_packet(ts=1.0))
+
+    def test_eviction_order_matches_min_scan(self):
+        """O(1) LRU eviction must pick the same victims the old O(n)
+        min-timestamp scan did (streams are time-ordered)."""
+
+        class MinScanTracker(FlowmarkerTracker):
+            def _evict_oldest(self):
+                oldest = min(self._last_seen, key=self._last_seen.get)
+                del self._markers[oldest]
+                del self._last_seen[oldest]
+                self.evictions += 1
+
+        rng = np.random.default_rng(0)
+        # 12 conversations churning through a 4-slot table, globally
+        # monotonic timestamps, repeated touches reordering recency.
+        packets = []
+        ts = 0.0
+        for _ in range(400):
+            ts += float(rng.exponential(0.1))
+            pair = int(rng.integers(12))
+            packets.append(make_packet(ts=ts, src=pair + 1, dst=100 + pair))
+
+        fast = FlowmarkerTracker(max_conversations=4)
+        slow = MinScanTracker(max_conversations=4)
+        for packet in packets:
+            np.testing.assert_array_equal(
+                fast.extract(packet), slow.extract(packet)
+            )
+        assert fast.evictions == slow.evictions
+        assert list(fast._markers) == list(slow._markers)
+        assert fast._last_seen == slow._last_seen
+
+    def test_eviction_keeps_state_consistent(self):
+        tracker = FlowmarkerTracker(max_conversations=2)
+        for i in range(10):
+            tracker.extract(make_packet(ts=float(i), src=i + 1, dst=50 + i))
+        assert len(tracker) == 2
+        assert tracker.evictions == 8
+        assert set(tracker._markers) == set(tracker._last_seen)
 
     def test_reset(self):
         tracker = FlowmarkerTracker()
