@@ -9,6 +9,11 @@ run as pipelined stages over bounded queues, with conversation state
 (partial flowmarkers) maintained switch-register-style and latency /
 throughput / drop telemetry reported to the operator.
 
+The finale is a **hitless upgrade**: a retrained v2 detector is
+compare-and-swapped into the engine mid-stream (the switch-agent
+table-rewrite story) — zero packets dropped, the swap landing on a
+micro-batch boundary.  See docs/serving.md for the semantics.
+
 Run:  python examples/live_deployment.py
 """
 
@@ -115,4 +120,61 @@ print(f"per-packet precision/recall: {precision:.3f} / {recall:.3f}")
 print(
     f"\nevery verdict took {pipeline.performance.latency_ns:.0f} ns of pipeline "
     "latency — the reaction-time win over flow-complete detection."
+)
+
+# --- 4. hitless upgrade: swap in a retrained v2 mid-stream ----------------- #
+# Retrain with a different seed (a model refresh on newer data, say) and
+# compare-and-swap it into the live engine between micro-batches.
+import asyncio
+
+from repro.serving import replay
+
+v2_evaluator = ModelEvaluator(
+    spec,
+    bd_loader.load("botnet_detector"),
+    best.algorithm,
+    TaurusBackend(),
+    report.constraints,
+    seed=int(derive(SEED + 1, 0).integers(0, 2**31)),
+)
+_, pipeline_v2, _ = v2_evaluator.rebuild(best.best_config)
+
+upgrade_engine = AsyncStreamEngine(
+    pipeline,
+    FlowmarkerTracker(max_conversations=1024),
+    batch_size=256,
+    drop_policy="block",
+    infer_workers=2,
+)
+
+
+async def serve_with_upgrade():
+    half = len(packets) // 2
+
+    async def source():
+        count = 0
+        async for item in replay(packets, labels):
+            yield item
+            count += 1
+            if count == half:
+                old = upgrade_engine.swap_pipeline(pipeline_v2, expected=pipeline)
+                assert old is pipeline
+
+    return await upgrade_engine.run(source())
+
+
+upgraded_preds = asyncio.run(serve_with_upgrade())
+up_stats = upgrade_engine.stats
+print(
+    f"\nhitless upgrade: swapped v1 -> v2 mid-stream after "
+    f"~{len(packets) // 2} packets"
+)
+print(
+    f"  served {up_stats.packets}/{len(packets)} packets, "
+    f"{up_stats.dropped} dropped, {up_stats.swaps} swap "
+    f"(generation {upgrade_engine.pipeline_generation})"
+)
+print(
+    "  traffic never stopped: the swap landed between micro-batches, "
+    "like a switch-agent table rewrite."
 )

@@ -137,7 +137,18 @@ class EvaluationCache:
         return path
 
     def load(self, path: "str | None" = None) -> int:
-        """Merge entries from ``path``; returns how many were loaded."""
+        """Merge entries from ``path``; returns how many were loaded.
+
+        Merge semantics (relied on by multi-spill merging, e.g. a shard
+        scheduler combining per-machine spills): entries are folded into
+        the current table **last-writer-wins** — when a loaded key
+        already exists, the entry from the file loaded *most recently*
+        replaces the older one, deterministically.  Within one file,
+        later entries win over earlier duplicates for the same reason.
+        So ``load(a); load(b)`` keeps ``b``'s version of any conflicting
+        configuration, regardless of dict ordering or thread timing
+        (the whole merge holds the cache lock).
+        """
         path = path if path is not None else self.path
         if path is None:
             raise DesignSpaceError("EvaluationCache.load needs a path")

@@ -15,7 +15,9 @@ packet stream through the async serving runtime::
 
     python -m repro.cli serve --pipelines bd,ad --flows 300 \\
         --batch-size 256 --max-latency-us 2000 --queue-depth 1024 \\
-        --drop-policy tail-drop
+        --drop-policy head-drop --priorities bd=4,ad=1 --swap-after 2000
+
+See ``docs/serving.md`` for what each knob does.
 """
 
 from __future__ import annotations
@@ -110,6 +112,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--infer-workers", type=int, default=2,
                         help="inference batches in flight")
     parser.add_argument(
+        "--priorities", default=None,
+        help="per-route weights, e.g. 'bd=4,ad=1': weighted "
+             "deficit-round-robin split of extraction capacity "
+             "(default: every route weight 1)",
+    )
+    parser.add_argument(
+        "--swap-after", type=int, default=None,
+        help="hitless-upgrade demo: after this many replayed packets, "
+             "retrain v2 pipelines and rolling-swap every route live",
+    )
+    parser.add_argument(
         "--speed", type=float, default=0.0,
         help="replay pacing multiplier over capture time (0 = unpaced)",
     )
@@ -174,6 +187,25 @@ def _build_serve_routes(names: list, seed: int) -> list:
     return specs
 
 
+def _parse_priorities(spec: "str | None", names: list) -> "dict | None":
+    """Parse ``--priorities 'bd=4,ad=1'`` into a route-weight dict."""
+    if spec is None:
+        return None
+    weights = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        if not value or name.strip() not in names:
+            raise ValueError(part)
+        weight = int(value)
+        if weight < 1:
+            raise ValueError(part)
+        weights[name.strip()] = weight
+    return weights or None
+
+
 def serve_main(argv: "list | None" = None) -> int:
     args = build_serve_parser().parse_args(argv)
     names = [n.strip() for n in args.pipelines.split(",") if n.strip()]
@@ -200,6 +232,16 @@ def serve_main(argv: "list | None" = None) -> int:
     if args.max_latency_us is not None and args.max_latency_us <= 0:
         print("error: --max-latency-us must be positive", file=sys.stderr)
         return 2
+    try:
+        weights = _parse_priorities(args.priorities, names)
+    except ValueError as exc:
+        print(f"error: --priorities wants 'route=weight,...' over "
+              f"{{{','.join(names)}}} with weights >= 1, got {exc}",
+              file=sys.stderr)
+        return 2
+    if args.swap_after is not None and args.swap_after < 1:
+        print("error: --swap-after must be >= 1", file=sys.stderr)
+        return 2
 
     from repro.datasets.botnet import flow_label, generate_botnet_flows
     from repro.serving import AsyncStreamEngine, PipelineRouter, Route, TimedPipeline
@@ -221,8 +263,12 @@ def serve_main(argv: "list | None" = None) -> int:
             drop_policy=args.drop_policy,
             infer_workers=args.infer_workers,
         )
-        routes.append(Route(name, engine))
+        weight = weights.get(name, 1) if weights else 1
+        routes.append(Route(name, engine, weight=weight))
     router = PipelineRouter(routes)
+    if weights:
+        print("route weights: " + ", ".join(
+            f"{route.name}={route.weight}" for route in routes))
 
     flows = generate_botnet_flows(args.flows, seed=args.seed + 1234)
     tagged = []
@@ -243,7 +289,43 @@ def serve_main(argv: "list | None" = None) -> int:
         pacing = "unpaced"
     print(f"replaying {len(packets)} packets across {len(flows)} flows ({pacing})")
 
-    router.process(packets, labels, speed=args.speed)
+    if args.swap_after is not None:
+        import asyncio
+
+        from repro.serving import replay
+
+        print(f"hitless upgrade armed: rolling swap after "
+              f"{args.swap_after} packets")
+        v2 = {
+            name: pipeline
+            for name, pipeline, _ in _build_serve_routes(names, args.seed + 1)
+        }
+
+        async def run_with_swap() -> None:
+            swap_task = None
+
+            async def source():
+                nonlocal swap_task
+                count = 0
+                async for item in replay(packets, labels, speed=args.speed):
+                    yield item
+                    count += 1
+                    if count == args.swap_after:
+                        swap_task = asyncio.create_task(
+                            router.rolling_swap(v2)
+                        )
+
+            await router.run(source())
+            if swap_task is not None:
+                await swap_task
+                print("rolling swap completed: "
+                      + ", ".join(f"{n} -> v2" for n in sorted(v2)))
+            else:
+                print("stream ended before --swap-after packets; no swap")
+
+        asyncio.run(run_with_swap())
+    else:
+        router.process(packets, labels, speed=args.speed)
     for name in names:
         stats = router.stats[name]
         summary = stats.summary()
@@ -261,6 +343,9 @@ def serve_main(argv: "list | None" = None) -> int:
               f"p99 {summary['latency_p99_us']:.0f}")
         print(f"  queue depth max: {summary['queue_max_depth']}  "
               f"drops: {summary['drops'] or 0}")
+        if summary["swaps"]:
+            print(f"  pipeline swaps: {summary['swaps']} (hitless: "
+                  f"{summary['dropped']} dropped)")
     return 0
 
 

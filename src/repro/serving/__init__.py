@@ -3,28 +3,44 @@
 ``generate()`` produces a data-plane program; :mod:`repro.runtime` runs
 it synchronously.  This package is the *deployment* layer above both: an
 asyncio engine that pipelines **extract -> micro-batch -> infer ->
-record** through bounded queues with configurable backpressure, deadline
-micro-batching, deterministic trace replay, online latency percentiles,
-and multi-pipeline routing — so a software deployment behaves like a
-switch pipeline under load instead of an offline batch job.
+record** through bounded queues with configurable queue disciplines
+(block / tail-drop / head-drop), weighted priority lanes with
+deficit-round-robin drain, deadline micro-batching, deterministic trace
+replay, hitless pipeline swap, online latency percentiles with
+ring-buffered depth/latency time series, and multi-pipeline routing
+with rolling upgrades — so a software deployment behaves like a switch
+pipeline under load instead of an offline batch job.
+
+See ``docs/serving.md`` for the operator-facing tour.
 """
 
 from repro.serving.batching import MicroBatcher
+from repro.serving.channel import (
+    DISCIPLINES,
+    BoundedChannel,
+    PriorityChannel,
+    QueueDiscipline,
+)
 from repro.serving.clock import VirtualClock, WallClock, replay
 from repro.serving.device import TimedPipeline
 from repro.serving.engine import DROP_POLICIES, AsyncStreamEngine
 from repro.serving.router import PipelineRouter, Route
-from repro.serving.stats import LatencyHistogram, ServingStats
+from repro.serving.stats import LatencyHistogram, RingSeries, ServingStats
 
 __all__ = [
     "AsyncStreamEngine",
+    "BoundedChannel",
+    "DISCIPLINES",
     "DROP_POLICIES",
     "MicroBatcher",
     "PipelineRouter",
+    "PriorityChannel",
+    "QueueDiscipline",
     "Route",
     "TimedPipeline",
     "ServingStats",
     "LatencyHistogram",
+    "RingSeries",
     "VirtualClock",
     "WallClock",
     "replay",

@@ -24,9 +24,9 @@ from __future__ import annotations
 import asyncio
 
 from repro.errors import HomunculusError
+from repro.serving.channel import SENTINEL
 
-#: End-of-stream marker forwarded through stage queues.
-SENTINEL = object()
+__all__ = ["MicroBatcher", "SENTINEL"]
 
 
 class MicroBatcher:
@@ -36,6 +36,11 @@ class MicroBatcher:
     traffic per *burst* rather than per packet, the descriptor-ring
     idiom); the batcher re-slices them into batches for the inference
     stage.
+
+    Example::
+
+        batcher = MicroBatcher(batch_size=256, max_latency=2e-3)
+        await batcher.run(q_rows, q_batches)   # until SENTINEL arrives
 
     Parameters
     ----------

@@ -32,7 +32,14 @@ YIELD_EVERY = 1024
 
 
 class WallClock:
-    """Real time: monotonic reads, genuine asyncio sleeps."""
+    """Real time: monotonic reads, genuine asyncio sleeps.
+
+    Example::
+
+        clock = WallClock()
+        t0 = clock.now()
+        await clock.sleep(0.01)        # really waits ~10 ms
+    """
 
     def now(self) -> float:
         return time.monotonic()
@@ -47,6 +54,12 @@ class VirtualClock:
     ``sleep`` yields to the event loop exactly once (so other tasks make
     progress) but never waits in real time — a replayed trace runs as
     fast as the CPU allows while every timestamp arithmetic stays exact.
+
+    Example::
+
+        clock = VirtualClock()
+        await clock.sleep(3600.0)      # instant; clock.now() == 3600.0
+        engine = AsyncStreamEngine(pipeline, extractor, clock=clock)
     """
 
     def __init__(self, start: float = 0.0) -> None:

@@ -30,6 +30,12 @@ from repro.errors import HomunculusError
 class TimedPipeline:
     """Wrap ``pipeline.predict`` with a per-call device service time.
 
+    Example::
+
+        device = TimedPipeline(pipeline, per_batch_s=500e-6)
+        device.predict(X)              # exact labels, ~500 us later
+        device.calls, device.busy_s    # service accounting
+
     Parameters
     ----------
     pipeline:

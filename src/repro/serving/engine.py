@@ -16,15 +16,29 @@ analogue of a switch pipeline's fixed-depth stage FIFOs:
   batches; results are re-sequenced so output order never changes),
 * **record** — in-order statistics, latency stamps, predictions.
 
-Backpressure at the ingress queue is configurable:
+Backpressure at the ingress queue is a :class:`QueueDiscipline`:
 
 * ``"block"`` — lossless: a full queue stalls the source (replay waits),
   predictions are bit-identical to the synchronous processor,
 * ``"tail-drop"`` — a full queue drops the arriving packet and counts
-  it, emulating the fixed-depth ingress queue of a switch under load.
+  it, emulating the fixed-depth ingress queue of a switch under load,
+* ``"head-drop"`` — a full queue evicts the *oldest* queued packet to
+  admit the new one: fresher data wins, the right policy when a stale
+  telemetry verdict is worthless by the time it is computed.
+
+With ``priorities`` the ingress becomes a
+:class:`~repro.serving.channel.PriorityChannel`: packets are classified
+into weighted lanes by ``lane_of`` and extraction drains lanes in
+deficit-round-robin order, so high-priority traffic keeps a low
+queueing delay while an overload backlogs the bulk lanes.
 
 Intermediate queues always block: they are host-internal, and dropping
 mid-pipeline would tear batches apart.
+
+The engine's pipeline is **hot-swappable**: :meth:`swap_pipeline`
+compare-and-swaps the compiled pipeline between micro-batches with zero
+dropped items — the software twin of a switch agent rewriting match
+tables under live traffic.
 """
 
 from __future__ import annotations
@@ -36,13 +50,13 @@ from typing import AsyncIterator, Iterable
 import numpy as np
 
 from repro.errors import HomunculusError
-from repro.serving.batching import SENTINEL, MicroBatcher
-from repro.serving.channel import BoundedChannel
+from repro.serving.batching import MicroBatcher
+from repro.serving.channel import SENTINEL, BoundedChannel, PriorityChannel
 from repro.serving.clock import YIELD_EVERY, VirtualClock, WallClock, replay
 from repro.serving.stats import ServingStats
 
-#: Supported ingress backpressure policies.
-DROP_POLICIES = ("block", "tail-drop")
+#: Supported ingress backpressure policies (queue disciplines).
+DROP_POLICIES = ("block", "tail-drop", "head-drop")
 
 
 async def _aiter(source) -> AsyncIterator:
@@ -59,6 +73,17 @@ async def _aiter(source) -> AsyncIterator:
 
 class AsyncStreamEngine:
     """Pipelined async serving over a compiled pipeline.
+
+    Example — lossless serving with deadline micro-batching::
+
+        engine = AsyncStreamEngine(
+            pipeline, FlowmarkerTracker(),
+            batch_size=256, max_latency=2e-3,
+            queue_depth=1024, drop_policy="block", infer_workers=4,
+        )
+        predictions = engine.process(packets, labels)
+        engine.stats.summary()                  # p50/p95/p99, drops, ...
+        engine.swap_pipeline(new_pipeline)      # hitless, mid-stream
 
     Parameters
     ----------
@@ -77,11 +102,25 @@ class AsyncStreamEngine:
         behaviour, not replay-time (predictions per row are unaffected;
         for bit-exact repeated runs use ``max_latency=None``).
     queue_depth:
-        capacity of every stage queue (the switch FIFO depth).
+        capacity of every stage queue (the switch FIFO depth; per lane,
+        when ``priorities`` is set).
     drop_policy:
-        ingress behaviour when the queue is full (see module docstring).
+        ingress :class:`~repro.serving.channel.QueueDiscipline` when the
+        queue is full (see module docstring).
     infer_workers:
         executor threads / maximum inference batches in flight.
+    priorities:
+        optional lane weights, e.g. ``(4, 1)`` — the ingress becomes a
+        deficit-round-robin :class:`PriorityChannel` and ``lane_of``
+        classifies packets into lanes.  A weight of 0 marks a scavenger
+        lane served only when every weighted lane is empty.
+    lane_of:
+        ``(packet) -> lane_index`` classifier (default: everything in
+        lane 0).  Only meaningful with ``priorities``.
+    extract_quantum:
+        packets the extract stage may process per event-loop wakeup
+        (0 = drain greedily).  The :class:`PipelineRouter` uses this to
+        split extraction CPU between routes by weight.
     clock:
         time source for latency stamps and pacing (default wall clock).
     """
@@ -95,6 +134,9 @@ class AsyncStreamEngine:
         queue_depth: int = 1024,
         drop_policy: str = "block",
         infer_workers: int = 2,
+        priorities: "tuple | list | None" = None,
+        lane_of=None,
+        extract_quantum: int = 0,
         clock: "WallClock | VirtualClock | None" = None,
         stats: "ServingStats | None" = None,
     ) -> None:
@@ -110,6 +152,10 @@ class AsyncStreamEngine:
             )
         if infer_workers < 1:
             raise HomunculusError("infer_workers must be >= 1")
+        if extract_quantum < 0:
+            raise HomunculusError("extract_quantum must be >= 0")
+        if lane_of is not None and priorities is None:
+            raise HomunculusError("lane_of needs priorities (lane weights)")
         self.pipeline = pipeline
         self.extractor = extractor
         self.batcher = MicroBatcher(
@@ -120,29 +166,98 @@ class AsyncStreamEngine:
         self.queue_depth = int(queue_depth)
         self.drop_policy = drop_policy
         self.infer_workers = int(infer_workers)
+        self.priorities = tuple(int(w) for w in priorities) if priorities else None
+        self.lane_of = lane_of
+        self.extract_quantum = int(extract_quantum)
+        if self.priorities is not None:
+            # Validate eagerly (PriorityChannel re-checks at run()).
+            PriorityChannel(self.queue_depth, self.priorities)
         self.clock = clock if clock is not None else WallClock()
         self.stats = stats if stats is not None else ServingStats()
+        self.pipeline_generation = 0
+        self._inflight: set = set()
 
     def _on_flush(self, rows: int, deadline: bool) -> None:
         self.stats.observe_batch(rows, deadline)
 
+    # -- live model swap -------------------------------------------------
+    def swap_pipeline(self, pipeline, expected=None):
+        """Hitlessly replace the served pipeline; returns the old one.
+
+        The swap is a compare-and-swap on the engine's pipeline slot:
+        batches already dispatched to the device finish on the pipeline
+        they started with, every later micro-batch (including items
+        already queued — a packet in flight hits the *new* tables, just
+        as with a switch-agent table rewrite) is served by ``pipeline``.
+        No queue is disturbed, so nothing is dropped.
+
+        ``expected`` makes the CAS explicit: when given and the engine
+        is no longer serving that exact object (a concurrent swap won),
+        the call fails with :class:`HomunculusError` instead of silently
+        clobbering the other upgrade.
+        """
+        if not hasattr(pipeline, "predict"):
+            raise HomunculusError("pipeline must expose predict()")
+        current = self.pipeline
+        if expected is not None and current is not expected:
+            raise HomunculusError(
+                "swap_pipeline: engine is no longer serving the expected "
+                "pipeline (concurrent swap?)"
+            )
+        self.pipeline = pipeline
+        self.pipeline_generation += 1
+        self.stats.mark_swap(self.clock.now())
+        return current
+
+    async def drain_inflight(self) -> None:
+        """Wait until every batch dispatched to inference has completed.
+
+        Used by :meth:`PipelineRouter.rolling_swap` *after* its CAS to
+        retire the old pipeline: once the swap is installed, only
+        batches dispatched before it can still reference the old model,
+        and those are exactly the in-flight tasks this call awaits —
+        when it returns, the old pipeline is quiescent and safe to
+        decommission.  Batches merely *queued* (not yet dispatched) are
+        not waited for: they run on whichever pipeline is installed when
+        they reach the device, the table-rewrite semantics a hitless
+        swap wants.
+        """
+        tasks = [t for t in self._inflight if not t.done()]
+        if tasks:
+            await asyncio.wait(tasks)
+        else:
+            await asyncio.sleep(0)
+
     # -- stages ----------------------------------------------------------
-    async def _ingest(self, source, q_in: BoundedChannel) -> None:
+    def _make_ingress(self):
+        if self.priorities is not None:
+            return PriorityChannel(
+                self.queue_depth, self.priorities, discipline=self.drop_policy
+            )
+        return BoundedChannel(self.queue_depth, discipline=self.drop_policy)
+
+    async def _ingest(self, source, q_in) -> None:
         """Admit packets at the ingress queue under the drop policy.
 
-        ``put_nowait`` is the fast path in both policies; a blocking
-        engine falls back to an awaited put when the queue is full.
-        Scheduling fairness is driven by queue *occupancy*, not source
-        stride: once the ingress queue is half full the ingest yields so
-        the draining stages get the CPU before anything overflows —
-        tail-drop counts then reflect genuine pipeline overload rather
-        than cooperative-scheduling artifacts of the source.
+        ``offer`` (the discipline's non-blocking admit) is the fast path
+        in every policy; a blocking engine falls back to an awaited put
+        when the queue is full, and tail-drop retries once after a yield
+        so its drop counts reflect genuine pipeline overload rather than
+        cooperative-scheduling artifacts of the source.  Scheduling
+        fairness is driven by queue *occupancy*, not source stride: once
+        the ingress queue is half full the ingest yields so the draining
+        stages get the CPU before anything overflows.
+
+        Every arrival increments ``stats.enqueued`` — admitted or not —
+        so ``enqueued == packets + dropped`` holds under every policy.
         """
         stats = self.stats
         blocking = self.drop_policy == "block"
         now = self.clock.now
         half = max(1, self.queue_depth // 2)
-        admitted = 0
+        lanes = self.priorities is not None
+        lane_of = self.lane_of
+        arrived = 0
         if not hasattr(source, "__aiter__"):
             source = _aiter(source)
         async for item in source:
@@ -150,36 +265,63 @@ class AsyncStreamEngine:
                 packet, label = item
             else:
                 packet, label = item, None
-            entry = (packet, label, now())
-            try:
-                q_in.put_nowait(entry)
-            except asyncio.QueueFull:
-                if blocking:
-                    await q_in.put(entry)
-                else:
-                    await asyncio.sleep(0)  # let the drain stages run
-                    try:
-                        q_in.put_nowait(entry)
-                    except asyncio.QueueFull:
-                        stats.drop("ingress")
-                        continue
+            lane = int(lane_of(packet)) if (lanes and lane_of is not None) else 0
+            entry = (packet, label, now(), lane)
             stats.enqueued += 1
-            admitted += 1
-            if admitted % 32 == 0:
-                stats.observe_queue("ingress", q_in.qsize())
+            if blocking and not lanes:
+                # Lossless FIFO fast path: skip the discipline dispatch.
+                try:
+                    q_in.put_nowait(entry)
+                except asyncio.QueueFull:
+                    await q_in.put(entry)
+                displaced = None
+            else:
+                if lanes:
+                    admitted, displaced = q_in.offer(entry, lane)
+                else:
+                    admitted, displaced = q_in.offer(entry)
+                if not admitted:
+                    if blocking:  # block + lanes (FIFO block fast-paths)
+                        await q_in.put(entry, lane)
+                    else:  # tail-drop: give the drain stages one chance
+                        await asyncio.sleep(0)
+                        if lanes:
+                            admitted, displaced = q_in.offer(entry, lane)
+                        else:
+                            admitted, displaced = q_in.offer(entry)
+                        if not admitted:
+                            stats.drop("ingress", lane=lane if lanes else None)
+                            continue
+            if displaced is not None:
+                # head-drop evicted the oldest queued entry.
+                stats.drop("ingress", lane=displaced[3] if lanes else None)
+            arrived += 1
+            if arrived % 32 == 0:
+                stats.observe_queue("ingress", q_in.qsize(), t=now())
+                if lanes:
+                    for index, depth in enumerate(q_in.lane_sizes()):
+                        stats.observe_queue(f"lane{index}", depth, t=now())
             if q_in.qsize() >= half:
                 await asyncio.sleep(0)
-        await q_in.put(SENTINEL)
+        await q_in.aclose()
 
-    async def _extract(self, q_in: BoundedChannel, q_rows: BoundedChannel) -> None:
-        """Sequential stateful feature extraction in arrival order.
+    async def _extract(self, q_in, q_rows: BoundedChannel) -> None:
+        """Stateful feature extraction in queue-service order.
 
         Drains the ingress queue greedily and forwards extracted rows as
         one chunk per drain (the descriptor-ring idiom): queue traffic
         scales with bursts, not packets, which keeps the async overhead
-        per packet far below the extraction work itself.
+        per packet far below the extraction work itself.  With a
+        :class:`PriorityChannel` ingress the service order *is* the DRR
+        order, so high-priority lanes are extracted first under backlog.
+
+        ``extract_quantum`` bounds how many packets one wakeup may
+        process before yielding the event loop — the router's
+        deficit-round-robin knob for splitting extraction CPU between
+        routes by weight.
         """
         extract = self.extractor.extract
+        quantum = self.extract_quantum
         while True:
             item = await q_in.get()
             chunk: list = []
@@ -188,8 +330,10 @@ class AsyncStreamEngine:
                 if item is SENTINEL:
                     done = True
                     break
-                packet, label, t_arrival = item
-                chunk.append((extract(packet), label, t_arrival))
+                packet, label, t_arrival, lane = item
+                chunk.append((extract(packet), label, t_arrival, lane))
+                if quantum and len(chunk) >= quantum:
+                    break
                 try:
                     item = q_in.get_nowait()
                 except asyncio.QueueEmpty:
@@ -199,19 +343,26 @@ class AsyncStreamEngine:
             if done:
                 await q_rows.put(SENTINEL)
                 return
+            if quantum:
+                await asyncio.sleep(0)  # end of this engine's DRR round
 
     async def _infer(self, q_batches: BoundedChannel, q_done: asyncio.Queue) -> None:
-        """Run predict() on executor threads, several batches in flight."""
+        """Run predict() on executor threads, several batches in flight.
+
+        The pipeline is snapshotted per batch, so a concurrent
+        :meth:`swap_pipeline` lands exactly on a micro-batch boundary:
+        no batch ever straddles two pipelines.
+        """
         loop = asyncio.get_running_loop()
         gate = asyncio.Semaphore(self.infer_workers)
-        inflight: set = set()
+        inflight = self._inflight
         sequence = 0
 
-        async def serve(seq: int, batch: list) -> None:
+        async def serve(seq: int, batch: list, predict) -> None:
             try:
-                rows = np.stack([row for row, _, _ in batch])
+                rows = np.stack([row for row, _, _, _ in batch])
                 predictions = await loop.run_in_executor(
-                    self._executor, self.pipeline.predict, rows
+                    self._executor, predict, rows
                 )
                 await q_done.put((seq, batch, predictions))
             finally:
@@ -222,9 +373,13 @@ class AsyncStreamEngine:
                 batch = await q_batches.get()
                 if batch is SENTINEL:
                     break
-                self.stats.observe_queue("infer", q_batches.qsize())
+                self.stats.observe_queue(
+                    "infer", q_batches.qsize(), t=self.clock.now()
+                )
                 await gate.acquire()
-                task = asyncio.create_task(serve(sequence, batch))
+                task = asyncio.create_task(
+                    serve(sequence, batch, self.pipeline.predict)
+                )
                 sequence += 1
                 inflight.add(task)
                 task.add_done_callback(inflight.discard)
@@ -238,6 +393,7 @@ class AsyncStreamEngine:
     async def _record(self, q_done: asyncio.Queue, out: list) -> None:
         """Re-sequence finished batches; record stats in arrival order."""
         stats = self.stats
+        lanes = self.priorities is not None and len(self.priorities) > 1
         pending: dict = {}
         expected = 0
         while True:
@@ -249,11 +405,17 @@ class AsyncStreamEngine:
             while expected in pending:
                 batch, predictions = pending.pop(expected)
                 now = self.clock.now()
-                labels = [label for _, label, _ in batch]
+                labels = [label for _, label, _, _ in batch]
                 stats.record_batch(predictions, labels)
-                stats.latency.observe_batch(
-                    [now - t_arrival for _, _, t_arrival in batch]
-                )
+                waits = [now - t_arrival for _, _, t_arrival, _ in batch]
+                stats.latency.observe_batch(waits)
+                stats.latency_series.observe(max(waits), t=now)
+                if lanes:
+                    by_lane: dict = {}
+                    for (_, _, t_arrival, lane) in batch:
+                        by_lane.setdefault(lane, []).append(now - t_arrival)
+                    for lane, lane_waits in by_lane.items():
+                        stats.observe_lane_latency(lane, lane_waits)
                 out.extend(predictions)
                 expected += 1
 
@@ -267,7 +429,7 @@ class AsyncStreamEngine:
         when the source ends; cancelling the coroutine cancels every
         stage task and the inference executor without leaking tasks.
         """
-        q_in = BoundedChannel(self.queue_depth)
+        q_in = self._make_ingress()
         q_rows = BoundedChannel(self.queue_depth)
         q_batches = BoundedChannel(
             max(1, self.queue_depth // self.batcher.batch_size)

@@ -1,11 +1,14 @@
-"""Online serving statistics: latency percentiles, queues, drops.
+"""Online serving statistics: latency percentiles, queue series, drops.
 
 :class:`ServingStats` extends the runtime's :class:`StreamStats` (packet
 counts, accuracy, confusion) with the operator-facing signals a serving
-runtime must report — end-to-end latency percentiles, per-stage queue
-depths, drop counters, batch sizes and throughput — all maintained
-online in O(1) memory, the way a switch keeps telemetry registers
-rather than logging per-packet records.
+runtime must report — end-to-end latency percentiles, per-stage
+queue-depth **time series**, drop counters, batch sizes, pipeline-swap
+events and throughput.  Percentiles are kept in O(1) memory
+(:class:`LatencyHistogram`); depth and latency samples are kept in
+fixed-capacity ring buffers (:class:`RingSeries`), the way a switch
+exports telemetry registers plus a short history ring rather than
+logging per-packet records.
 """
 
 from __future__ import annotations
@@ -24,6 +27,13 @@ class LatencyHistogram:
     Fixed log-spaced bins (default 1 us .. 100 s) bound memory while
     keeping relative error a few percent per bin — the same trade an
     HDR-style telemetry register file makes in hardware.
+
+    Example::
+
+        h = LatencyHistogram()
+        h.observe(0.0042)                  # one 4.2 ms sample
+        h.observe_batch([1e-4, 2e-4])      # vectorized
+        h.percentile(99)                   # upper edge of the p99 bin
     """
 
     def __init__(
@@ -87,23 +97,72 @@ class LatencyHistogram:
         return float(self._edges[index])
 
 
-@dataclass
-class QueueGauge:
-    """Depth telemetry for one bounded queue."""
+class RingSeries:
+    """Fixed-capacity ring of ``(t, value)`` samples plus running stats.
 
-    max_depth: int = 0
-    _sum: int = 0
-    _samples: int = 0
+    The time-series sibling of a telemetry gauge: running ``max``/
+    ``mean`` never lose information, while the ring keeps the most
+    recent ``capacity`` samples so an operator (or a benchmark plot) can
+    see *when* a queue filled, not just how deep it ever got.
 
-    def observe(self, depth: int) -> None:
-        if depth > self.max_depth:
-            self.max_depth = depth
-        self._sum += depth
+    Example::
+
+        s = RingSeries(capacity=4)
+        for t, depth in enumerate([0, 3, 9, 4, 1]):
+            s.observe(depth, t=float(t))
+        s.max, round(s.mean, 1)            # (9, 3.4)  — over all samples
+        s.samples()                        # last 4 (t, value) pairs
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_head", "_count",
+                 "max", "_sum", "_samples")
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise HomunculusError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._times = np.zeros(self.capacity)
+        self._values = np.zeros(self.capacity)
+        self._head = 0
+        self._count = 0
+        self.max: float = 0.0
+        self._sum = 0.0
+        self._samples = 0
+
+    def observe(self, value: float, t: "float | None" = None) -> None:
+        value = float(value)
+        self._times[self._head] = float(t) if t is not None else 0.0
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        if value > self.max:
+            self.max = value
+        self._sum += value
         self._samples += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._samples if self._samples else 0.0
+
+    # Gauge-compatible aliases (the summary() keys predate the ring).
+    @property
+    def max_depth(self) -> float:
+        return self.max
 
     @property
     def mean_depth(self) -> float:
-        return self._sum / self._samples if self._samples else 0.0
+        return self.mean
+
+    def samples(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Ring contents in chronological order as ``(times, values)``."""
+        if self._count < self.capacity:
+            order = slice(0, self._count)
+            return self._times[order].copy(), self._values[order].copy()
+        idx = (np.arange(self.capacity) + self._head) % self.capacity
+        return self._times[idx], self._values[idx]
 
 
 @dataclass
@@ -113,37 +172,74 @@ class ServingStats(StreamStats):
     The inherited :class:`StreamStats` fields stay bit-compatible with
     the synchronous :class:`~repro.runtime.stream.StreamProcessor`, so a
     block-mode async run can be compared field-for-field against the
-    sync baseline.
+    sync baseline.  On top of those it tracks, per engine:
+
+    * ``enqueued`` — packets that *arrived* at the ingress queue
+      (admitted or not), so ``enqueued == packets + dropped`` holds
+      under every drop policy once a run drains,
+    * ``drops`` — per-stage drop counters (and ``lane_drops`` per
+      priority lane),
+    * ``queues`` — per-stage :class:`RingSeries` of depth samples,
+    * ``latency`` / ``lane_latency`` — end-to-end
+      :class:`LatencyHistogram` (overall, and per priority lane),
+    * ``latency_series`` — ring of per-batch worst-case latencies,
+    * ``swaps`` / ``swap_times`` — hitless pipeline swaps observed.
+
+    Example::
+
+        stats = engine.stats            # after engine.process(...)
+        stats.summary()["latency_p99_us"]
+        times, depths = stats.queues["ingress"].samples()
     """
 
     enqueued: int = 0
     drops: dict = field(default_factory=dict)
+    lane_drops: dict = field(default_factory=dict)
     batches: int = 0
     batch_rows: int = 0
     deadline_flushes: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    lane_latency: dict = field(default_factory=dict)
+    latency_series: RingSeries = field(default_factory=RingSeries)
     queues: dict = field(default_factory=dict)
+    swaps: int = 0
+    swap_times: list = field(default_factory=list)
     started_at: "float | None" = None
     finished_at: "float | None" = None
 
-    def drop(self, stage: str, n: int = 1) -> None:
+    def drop(self, stage: str, n: int = 1, lane: "int | None" = None) -> None:
         self.drops[stage] = self.drops.get(stage, 0) + n
+        if lane is not None:
+            self.lane_drops[lane] = self.lane_drops.get(lane, 0) + n
 
     @property
     def dropped(self) -> int:
         return sum(self.drops.values())
 
-    def observe_queue(self, stage: str, depth: int) -> None:
-        gauge = self.queues.get(stage)
-        if gauge is None:
-            gauge = self.queues[stage] = QueueGauge()
-        gauge.observe(depth)
+    def observe_queue(self, stage: str, depth: int, t: "float | None" = None) -> None:
+        series = self.queues.get(stage)
+        if series is None:
+            series = self.queues[stage] = RingSeries()
+        series.observe(depth, t=t)
+
+    def observe_lane_latency(self, lane: int, seconds) -> None:
+        """Record end-to-end latencies for one priority lane."""
+        histogram = self.lane_latency.get(lane)
+        if histogram is None:
+            histogram = self.lane_latency[lane] = LatencyHistogram()
+        histogram.observe_batch(seconds)
 
     def observe_batch(self, rows: int, deadline: bool = False) -> None:
         self.batches += 1
         self.batch_rows += rows
         if deadline:
             self.deadline_flushes += 1
+
+    def mark_swap(self, t: "float | None" = None) -> None:
+        """Count a hitless pipeline swap (and when it happened)."""
+        self.swaps += 1
+        if t is not None:
+            self.swap_times.append(float(t))
 
     @property
     def mean_batch(self) -> float:
@@ -162,7 +258,7 @@ class ServingStats(StreamStats):
 
     def summary(self) -> dict:
         """Operator-facing snapshot (all scalars, JSON-friendly)."""
-        return {
+        out = {
             "packets": self.packets,
             "enqueued": self.enqueued,
             "dropped": self.dropped,
@@ -176,5 +272,19 @@ class ServingStats(StreamStats):
             "latency_p95_us": round(self.latency.percentile(95) * 1e6, 1),
             "latency_p99_us": round(self.latency.percentile(99) * 1e6, 1),
             "latency_max_us": round(self.latency.max * 1e6, 1),
-            "queue_max_depth": {s: g.max_depth for s, g in self.queues.items()},
+            "queue_max_depth": {s: int(g.max) for s, g in self.queues.items()},
+            "swaps": self.swaps,
         }
+        # Key the per-lane report by every lane we heard from — served
+        # (lane_latency) or shed (lane_drops) — so a lane that lost all
+        # of its traffic still shows up in the breakdown.
+        lanes = sorted(set(self.lane_latency) | set(self.lane_drops))
+        if lanes:
+            out["lane_latency_p99_us"] = {
+                lane: round(h.percentile(99) * 1e6, 1)
+                for lane, h in sorted(self.lane_latency.items())
+            }
+            out["lane_drops"] = {
+                lane: self.lane_drops.get(lane, 0) for lane in lanes
+            }
+        return out

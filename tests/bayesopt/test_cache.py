@@ -95,6 +95,35 @@ class TestEvaluationCache:
         with pytest.raises(DesignSpaceError):
             EvaluationCache().save()
 
+    def test_merging_spills_keeps_newest_entry_deterministically(self, tmp_path):
+        # Two spills disagree about the same configuration (a re-run with
+        # a fixed harness, say).  Load order decides, last-writer-wins:
+        # whichever spill merges most recently owns the key.
+        config = {"x": 1, "c": "relu"}
+        older = str(tmp_path / "older.json")
+        newer = str(tmp_path / "newer.json")
+        stale = EvaluationCache()
+        stale.put(config, Evaluation(config=config, objective=0.25))
+        stale.put({"x": 9}, Evaluation(config={"x": 9}, objective=0.9))
+        stale.save(older)
+        fresh = EvaluationCache()
+        fresh.put(config, Evaluation(config=config, objective=0.75))
+        fresh.save(newer)
+
+        merged = EvaluationCache()
+        assert merged.load(older) == 2
+        assert merged.load(newer) == 1
+        assert len(merged) == 2  # conflicting key merged, not duplicated
+        assert merged.get(config).objective == 0.75  # newer spill won
+        assert merged.get({"x": 9}).objective == 0.9  # disjoint key kept
+
+        # Deterministic, not timing- or hash-order-dependent: reversing
+        # the load order flips the winner.
+        reversed_merge = EvaluationCache()
+        reversed_merge.load(newer)
+        reversed_merge.load(older)
+        assert reversed_merge.get(config).objective == 0.25
+
     def test_load_rejects_wrong_format(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"format": "something-else", "entries": []}))

@@ -1,0 +1,71 @@
+"""Docs sanity: every intra-repo markdown link resolves.
+
+Scans README.md and docs/*.md for markdown links/images and asserts
+that relative targets exist in the working tree (external URLs and
+pure anchors are skipped).  Keeps the docs tree honest as files move.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+#: ``[text](target)`` and ``![alt](target)`` — good enough for our docs
+#: (no nested brackets, no angle-bracket targets in use).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def intra_repo_links(path):
+    with open(path) as handle:
+        text = handle.read()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize(
+    "doc", doc_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT)
+)
+def test_intra_repo_links_resolve(doc):
+    missing = []
+    for target in intra_repo_links(doc):
+        # Strip a #fragment; resolve relative to the doc's directory.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(doc), file_part)
+        )
+        if not os.path.exists(resolved):
+            missing.append(target)
+    assert not missing, (
+        f"{os.path.relpath(doc, REPO_ROOT)} has dangling links: {missing}"
+    )
+
+
+def test_docs_pages_exist():
+    for page in ("architecture.md", "serving.md", "benchmarks.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), page
+
+
+def test_readme_links_into_docs():
+    links = list(intra_repo_links(os.path.join(REPO_ROOT, "README.md")))
+    assert any(link.startswith("docs/") for link in links), (
+        "README should link into docs/"
+    )

@@ -1,0 +1,162 @@
+"""Unit tests for queue disciplines and the DRR priority channel."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import HomunculusError
+from repro.serving.channel import (
+    DISCIPLINES,
+    SENTINEL,
+    BoundedChannel,
+    PriorityChannel,
+    make_discipline,
+)
+
+
+class TestDisciplines:
+    def test_registry_names(self):
+        assert set(DISCIPLINES) == {"block", "tail-drop", "head-drop"}
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(HomunculusError):
+            make_discipline("wred")
+
+    def test_block_refuses_when_full(self):
+        ch = BoundedChannel(1, discipline="block")
+        assert ch.offer("a") == (True, None)
+        assert ch.offer("b") == (False, None)  # caller escalates to put()
+        assert ch.qsize() == 1
+
+    def test_tail_drop_sheds_the_arrival(self):
+        ch = BoundedChannel(2, discipline="tail-drop")
+        ch.offer("a")
+        ch.offer("b")
+        admitted, displaced = ch.offer("c")
+        assert (admitted, displaced) == (False, "c")
+        assert ch.get_nowait() == "a"  # queue content untouched
+
+    def test_head_drop_evicts_the_oldest(self):
+        ch = BoundedChannel(2, discipline="head-drop")
+        ch.offer("a")
+        ch.offer("b")
+        admitted, displaced = ch.offer("c")
+        assert (admitted, displaced) == (True, "a")
+        assert [ch.get_nowait(), ch.get_nowait()] == ["b", "c"]
+        assert ch.qsize() == 0
+
+    def test_offer_wakes_blocked_getter(self):
+        async def scenario():
+            ch = BoundedChannel(4, discipline="tail-drop")
+
+            async def consumer():
+                return await ch.get()
+
+            task = asyncio.create_task(consumer())
+            await asyncio.sleep(0)
+            ch.offer("x")
+            return await task
+
+        assert asyncio.run(scenario()) == "x"
+
+
+class TestPriorityChannel:
+    def test_validation(self):
+        with pytest.raises(HomunculusError):
+            PriorityChannel(8, ())
+        with pytest.raises(HomunculusError):
+            PriorityChannel(8, (0, 0))  # needs one positive weight
+        with pytest.raises(HomunculusError):
+            PriorityChannel(8, (1, -2))
+        with pytest.raises(HomunculusError):
+            PriorityChannel(0, (1,))
+        with pytest.raises(HomunculusError):
+            PriorityChannel(8, (1, 1)).put_nowait("x", lane=2)
+
+    def test_single_lane_degenerates_to_fifo(self):
+        ch = PriorityChannel(8, (3,))
+        for i in range(5):
+            ch.put_nowait(i)
+        assert [ch.get_nowait() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_drr_interleaves_by_weight(self):
+        ch = PriorityChannel(16, (2, 1))
+        for i in range(6):
+            ch.put_nowait(("hi", i), 0)
+        for i in range(3):
+            ch.put_nowait(("lo", i), 1)
+        order = [ch.get_nowait()[0] for _ in range(9)]
+        # 2:1 service while both lanes are backlogged.
+        assert order == ["hi", "hi", "lo", "hi", "hi", "lo", "hi", "hi", "lo"]
+
+    def test_work_conserving_when_a_lane_is_empty(self):
+        ch = PriorityChannel(16, (4, 1))
+        for i in range(3):
+            ch.put_nowait(i, 1)  # only the low lane has traffic
+        assert [ch.get_nowait() for _ in range(3)] == [0, 1, 2]
+
+    def test_zero_weight_lane_is_scavenger(self):
+        ch = PriorityChannel(16, (1, 0))
+        ch.put_nowait("bulk", 1)
+        ch.put_nowait("urgent", 0)
+        # The weighted lane is served first even though bulk arrived first.
+        assert ch.get_nowait() == "urgent"
+        assert ch.get_nowait() == "bulk"
+        assert ch.qsize() == 0
+
+    def test_per_lane_depth_and_discipline(self):
+        ch = PriorityChannel(2, (1, 1), discipline="tail-drop")
+        assert ch.offer("a", 0) == (True, None)
+        assert ch.offer("b", 0) == (True, None)
+        assert ch.offer("c", 0) == (False, "c")  # lane 0 full
+        assert ch.offer("d", 1) == (True, None)  # lane 1 unaffected
+        assert ch.lane_sizes() == (2, 1)
+
+    def test_head_drop_keeps_size_stable(self):
+        ch = PriorityChannel(2, (1,), discipline="head-drop")
+        ch.offer("a")
+        ch.offer("b")
+        admitted, displaced = ch.offer("c")
+        assert (admitted, displaced) == (True, "a")
+        assert ch.qsize() == 2
+
+    def test_close_yields_sentinel_after_drain(self):
+        ch = PriorityChannel(8, (1, 2))
+        ch.put_nowait("x", 0)
+        ch.close()
+        assert ch.get_nowait() == "x"
+        assert ch.get_nowait() is SENTINEL
+        assert ch.get_nowait() is SENTINEL  # closed stays closed
+
+    def test_blocking_get_woken_by_close(self):
+        async def scenario():
+            ch = PriorityChannel(4, (1,))
+
+            async def consumer():
+                return await ch.get()
+
+            task = asyncio.create_task(consumer())
+            await asyncio.sleep(0)
+            ch.close()
+            return await task
+
+        assert asyncio.run(scenario()) is SENTINEL
+
+    def test_blocking_put_woken_by_pop(self):
+        async def scenario():
+            ch = PriorityChannel(1, (1, 1))
+            ch.put_nowait("a", 0)
+
+            async def producer():
+                await ch.put("b", 0)
+                return "done"
+
+            task = asyncio.create_task(producer())
+            await asyncio.sleep(0)
+            assert not task.done()
+            assert ch.get_nowait() == "a"
+            await asyncio.sleep(0)
+            result = await task
+            return result, ch.get_nowait()
+
+        assert asyncio.run(scenario()) == ("done", "b")

@@ -1,0 +1,193 @@
+"""Engine-level discipline and priority-lane behaviour under load."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.runtime import PacketFeatureExtractor
+from repro.serving import AsyncStreamEngine, PipelineRouter, Route
+
+
+def make_packet(ts=0.0, size=100):
+    return Packet(timestamp=ts, size=size, src_ip=1, dst_ip=2,
+                  src_port=1000, dst_port=2000)
+
+
+class SlowPipeline:
+    """Deterministic size>500 predictor with a configurable stall."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def predict(self, X):
+        if self.delay_s:
+            import time
+
+            time.sleep(self.delay_s)
+        return (np.asarray(X)[:, 0] > 500).astype(int)
+
+
+def overload_engine(drop_policy, **kwargs):
+    return AsyncStreamEngine(
+        SlowPipeline(delay_s=0.02),
+        PacketFeatureExtractor(),
+        batch_size=8,
+        queue_depth=16,
+        drop_policy=drop_policy,
+        infer_workers=1,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("drop_policy", ["tail-drop", "head-drop"])
+class TestCounterConservation:
+    def test_enqueued_equals_served_plus_dropped(self, drop_policy):
+        packets = [make_packet(ts=float(i), size=600) for i in range(400)]
+        engine = overload_engine(drop_policy)
+        predictions = engine.process(packets)
+        stats = engine.stats
+        assert stats.drops.get("ingress", 0) > 0
+        assert stats.enqueued == len(packets)
+        assert stats.enqueued == stats.packets + stats.dropped
+        assert len(predictions) == stats.packets
+
+
+class TestHeadDrop:
+    def test_head_drop_serves_fresher_packets_than_tail_drop(self):
+        # Packet index is encoded in the size; under overload head-drop
+        # must retain later (fresher) arrivals than tail-drop does.
+        packets = [make_packet(ts=float(i), size=1000 + i) for i in range(400)]
+
+        class Echo:
+            def predict(self, X):
+                import time
+
+                time.sleep(0.02)
+                return np.asarray(X)[:, 0].astype(int) - 1000
+
+        def run(policy):
+            engine = AsyncStreamEngine(
+                Echo(), PacketFeatureExtractor(), batch_size=8,
+                queue_depth=16, drop_policy=policy, infer_workers=1,
+            )
+            served = [int(v) for v in engine.process(packets)]
+            return served, engine.stats
+
+        tail_served, tail_stats = run("tail-drop")
+        head_served, head_stats = run("head-drop")
+        assert tail_stats.dropped > 0 and head_stats.dropped > 0
+        # Both policies preserve arrival order among survivors.
+        assert tail_served == sorted(tail_served)
+        assert head_served == sorted(head_served)
+        # Head-drop always serves the final arrivals (they evict, never
+        # get evicted once the stream ends); tail-drop sheds them.
+        assert head_served[-1] == 399
+        assert np.mean(head_served) > np.mean(tail_served)
+
+    def test_head_drop_is_lossless_when_not_overloaded(self):
+        packets = [make_packet(ts=float(i), size=600) for i in range(100)]
+        engine = AsyncStreamEngine(
+            SlowPipeline(), PacketFeatureExtractor(), batch_size=16,
+            queue_depth=256, drop_policy="head-drop",
+        )
+        assert len(engine.process(packets)) == 100
+        assert engine.stats.dropped == 0
+
+
+class TestPriorityLanes:
+    def lane_of(self, packet):
+        return 0 if packet.size > 500 else 1
+
+    def test_all_lanes_served_and_accounted(self):
+        packets = [make_packet(ts=float(i), size=600 if i % 4 == 0 else 100)
+                   for i in range(200)]
+        engine = AsyncStreamEngine(
+            SlowPipeline(), PacketFeatureExtractor(), batch_size=16,
+            priorities=(4, 1), lane_of=self.lane_of,
+        )
+        predictions = engine.process(packets)
+        assert len(predictions) == 200
+        stats = engine.stats
+        assert set(stats.lane_latency) == {0, 1}
+        assert stats.lane_latency[0].count == 50
+        assert stats.lane_latency[1].count == 150
+
+    def test_single_lane_degeneracy_matches_fifo(self):
+        # One lane of weight w is a plain bounded FIFO: predictions and
+        # counters must match the default engine bit for bit.
+        packets = [make_packet(ts=float(i), size=600 if i % 2 else 100)
+                   for i in range(150)]
+        fifo = AsyncStreamEngine(
+            SlowPipeline(), PacketFeatureExtractor(), batch_size=16
+        )
+        single = AsyncStreamEngine(
+            SlowPipeline(), PacketFeatureExtractor(), batch_size=16,
+            priorities=(3,),
+        )
+        fifo_out = fifo.process(packets)
+        single_out = single.process(packets)
+        assert np.array_equal(np.asarray(fifo_out), np.asarray(single_out))
+        assert fifo.stats.packets == single.stats.packets
+        assert fifo.stats.batches == single.stats.batches
+
+    def test_zero_weight_lane_starves_until_weighted_empty(self):
+        # Scavenger lane: its packets still come out (end-of-stream
+        # drains everything) and are accounted per lane.
+        packets = [make_packet(ts=float(i), size=600 if i < 50 else 100)
+                   for i in range(100)]
+        engine = AsyncStreamEngine(
+            SlowPipeline(), PacketFeatureExtractor(), batch_size=8,
+            priorities=(1, 0), lane_of=self.lane_of,
+        )
+        predictions = engine.process(packets)
+        assert len(predictions) == 100
+        assert engine.stats.lane_latency[0].count == 50
+        assert engine.stats.lane_latency[1].count == 50
+
+    def test_priority_lane_waits_less_under_overload(self):
+        # Flood a slow engine: the weighted lane's queueing delay must
+        # sit well below the bulk lane's.
+        packets = [make_packet(ts=float(i), size=600 if i % 8 == 0 else 100)
+                   for i in range(600)]
+        engine = AsyncStreamEngine(
+            SlowPipeline(delay_s=0.01), PacketFeatureExtractor(),
+            batch_size=8, queue_depth=64, drop_policy="tail-drop",
+            infer_workers=1, priorities=(8, 1), lane_of=self.lane_of,
+        )
+        engine.process(packets)
+        stats = engine.stats
+        hi = stats.lane_latency[0]
+        lo = stats.lane_latency[1]
+        assert hi.count > 0 and lo.count > 0
+        assert hi.mean < lo.mean
+
+
+class TestRouterWeights:
+    def test_weights_validate(self):
+        engine = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor())
+        with pytest.raises(Exception):
+            PipelineRouter([Route("x", engine, weight=0)])
+
+    def test_weights_set_extraction_quanta(self):
+        a = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor())
+        b = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor())
+        PipelineRouter([Route("hi", a, weight=4), Route("lo", b, weight=1)])
+        assert a.extract_quantum == 4 * b.extract_quantum > 0
+
+    def test_equal_weights_leave_quanta_greedy(self):
+        a = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor())
+        b = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor())
+        PipelineRouter([Route("hi", a), Route("lo", b)])
+        assert a.extract_quantum == b.extract_quantum == 0
+
+    def test_weighted_routes_still_lossless_in_block_mode(self):
+        a = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor(),
+                              batch_size=16)
+        b = AsyncStreamEngine(SlowPipeline(), PacketFeatureExtractor(),
+                              batch_size=16)
+        router = PipelineRouter([Route("hi", a, weight=4),
+                                 Route("lo", b, weight=1)])
+        packets = [make_packet(ts=float(i), size=600) for i in range(120)]
+        results = router.process(packets)
+        assert len(results["hi"]) == len(results["lo"]) == 120
+        assert a.stats.dropped == b.stats.dropped == 0

@@ -72,7 +72,30 @@ class TestServeParser:
 
     def test_bad_drop_policy_rejected(self):
         with pytest.raises(SystemExit):
-            build_serve_parser().parse_args(["--drop-policy", "head-drop"])
+            build_serve_parser().parse_args(["--drop-policy", "random-early"])
+
+    def test_head_drop_is_a_valid_policy(self):
+        args = build_serve_parser().parse_args(["--drop-policy", "head-drop"])
+        assert args.drop_policy == "head-drop"
+
+    def test_priorities_and_swap_after_parse(self):
+        args = build_serve_parser().parse_args(
+            ["--priorities", "bd=4,ad=1", "--swap-after", "500"]
+        )
+        assert args.priorities == "bd=4,ad=1"
+        assert args.swap_after == 500
+
+    def test_bad_priorities_errors(self, capsys):
+        assert main(["serve", "--pipelines", "bd",
+                     "--priorities", "bd=0"]) == 2
+        assert "--priorities" in capsys.readouterr().err
+        assert main(["serve", "--pipelines", "bd",
+                     "--priorities", "nope=3"]) == 2
+        assert "--priorities" in capsys.readouterr().err
+
+    def test_bad_swap_after_errors(self, capsys):
+        assert main(["serve", "--pipelines", "bd", "--swap-after", "0"]) == 2
+        assert "--swap-after" in capsys.readouterr().err
 
     def test_unknown_pipeline_errors(self, capsys):
         assert main(["serve", "--pipelines", "bd,nope"]) == 2
@@ -93,6 +116,19 @@ class TestServeParser:
         out = capsys.readouterr().out
         assert "[bd]" in out
         assert "latency us" in out
+
+    def test_serve_end_to_end_priorities_and_swap(self, capsys):
+        code = main(
+            ["serve", "--pipelines", "bd", "--flows", "20",
+             "--batch-size", "32", "--queue-depth", "64",
+             "--drop-policy", "head-drop", "--priorities", "bd=2",
+             "--swap-after", "100", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route weights: bd=2" in out
+        assert "rolling swap completed: bd -> v2" in out
+        assert "pipeline swaps: 1" in out
 
 
 class TestMain:
