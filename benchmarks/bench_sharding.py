@@ -1,0 +1,141 @@
+"""Shard scheduler: wall-clock speedup + bit-identity macrobench.
+
+The distributed claim is two-sided — faster, and *exactly* the same
+answer — so this bench gates both.  A four-model compile (two anomaly-
+detection and two traffic-classification DNN searches, the paper's
+"parallel candidate runs" stretched across models) runs
+
+* serially: one ``repro.generate`` over the four scheduled models, and
+* sharded: the same run as a :class:`~repro.distrib.runspec.RunSpec`
+  partitioned into 4 shards, one worker **subprocess** per shard (the
+  real local backend — separate interpreters, JSON wire format, the
+  same path a remote machine would execute),
+
+then asserts ≥ 1.8x wall clock and per-model winning configurations
+bit-identical to the serial report.  Subprocess startup (interpreter +
+numpy import + dataset synthesis) is charged to the sharded side — the
+speedup is measured end to end, not per trial.
+
+Shard trials are real CPU work (DNN training), so the speedup gate
+needs real cores: on hosts with fewer than ``N_SHARDS`` CPUs the gate
+is reported but not enforced (the PR-3 convention for
+machine-dependent wall-clock gates), while the bit-identity gate —
+the half of the claim hardware cannot excuse — always is.
+"""
+
+import os
+import tempfile
+import time
+
+import repro
+from repro.distrib import (
+    DatasetRef,
+    ModelEntry,
+    RunSpec,
+    SubprocessLauncher,
+    run_sharded,
+)
+
+BUDGET = 10
+WARMUP = 4
+EPOCHS = 25
+SEED = 0
+N_SHARDS = 4
+MIN_SPEEDUP = 1.8
+
+#: Four single-family DNN searches — four balanced work units.
+MODELS = [
+    ("ad_a", "ad", {"n_train": 900, "n_test": 300, "seed": 7}),
+    ("ad_b", "ad", {"n_train": 900, "n_test": 300, "seed": 107}),
+    ("tc_a", "tc", {"n_train": 900, "n_test": 300, "seed": 11}),
+    ("tc_b", "tc", {"n_train": 900, "n_test": 300, "seed": 111}),
+]
+
+
+def usable_cores() -> int:
+    if hasattr(os, "process_cpu_count"):  # 3.13+
+        return os.process_cpu_count() or 1
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def make_spec() -> RunSpec:
+    return RunSpec(
+        target="taurus",
+        models=[
+            ModelEntry(
+                name=name,
+                dataset=DatasetRef.for_app(app, **kwargs),
+                algorithms=("dnn",),
+            )
+            for name, app, kwargs in MODELS
+        ],
+        budget=BUDGET,
+        warmup=WARMUP,
+        train_epochs=EPOCHS,
+        seed=SEED,
+    )
+
+
+def winners(report) -> dict:
+    return {
+        name: (model.algorithm, tuple(sorted(model.best_config.items())),
+               model.objective)
+        for name, model in report.models.items()
+    }
+
+
+def test_sharded_generate_speedup(record_result):
+    spec = make_spec()
+
+    start = time.perf_counter()
+    serial_report = repro.generate(
+        spec.build_platform(), budget=BUDGET, warmup=WARMUP,
+        train_epochs=EPOCHS, seed=SEED,
+    )
+    serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as shard_dir:
+        start = time.perf_counter()
+        sharded = run_sharded(
+            make_spec(), shards=N_SHARDS,
+            launcher=SubprocessLauncher(), shard_dir=shard_dir,
+        )
+        sharded_s = time.perf_counter() - start
+
+    speedup = serial_s / sharded_s
+    identical = winners(serial_report) == winners(sharded.report)
+    stats = sharded.stats
+    cores = usable_cores()
+    gate_active = cores >= N_SHARDS
+    gate_note = (
+        f"enforced (>= {MIN_SPEEDUP}x)" if gate_active
+        else f"reported only ({cores} core(s) < {N_SHARDS} shards — "
+             f"no parallel speedup is physically available)"
+    )
+    text = "\n".join(
+        [
+            f"{'Configuration':<46}{'Wall clock':>12}",
+            "-" * 58,
+            f"{'serial generate (4 models x budget %d)' % BUDGET:<46}"
+            f"{serial_s:>11.2f}s",
+            f"{f'sharded ({N_SHARDS} subprocess shards)':<46}{sharded_s:>11.2f}s",
+            "",
+            f"speedup: {speedup:.2f}x  [{gate_note}]",
+            f"winning configs bit-identical to serial: {identical}",
+            f"shard critical path: {stats['critical_path_s']:.2f}s "
+            f"of {stats['total_work_s']:.2f}s total work",
+            "per-shard: " + ", ".join(
+                f"#{s['shard']}={s['elapsed_s']:.2f}s" for s in stats["per_shard"]
+            ),
+        ]
+    )
+    record_result("sharding", text)
+
+    assert identical, "sharded winners diverged from the serial report"
+    if gate_active:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x speedup, got {speedup:.2f}x"
+        )

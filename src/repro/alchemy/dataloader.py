@@ -26,6 +26,11 @@ class BoundDataLoader:
     def load(self, name: str = "dataset") -> Dataset:
         """Invoke the user function (once) and validate its structure."""
         if self._cache is None:
+            if self._fn is None:
+                raise SpecificationError(
+                    "this DataLoader has neither a function nor a "
+                    "materialized dataset"
+                )
             raw = self._fn()
             if isinstance(raw, Dataset):
                 self._cache = raw
@@ -35,7 +40,26 @@ class BoundDataLoader:
 
     def __call__(self) -> dict:
         """Allow the wrapped function to still be called directly."""
+        if self._fn is None:
+            raise SpecificationError(
+                "this DataLoader was unpickled from a materialized snapshot; "
+                "the original loader function did not survive serialization"
+            )
         return self._fn()
+
+    # -- pickling ----------------------------------------------------------
+    #
+    # Loader functions are usually closures over in-memory datasets, which
+    # ``pickle`` cannot serialize.  A loader therefore pickles as its
+    # *materialized dataset*: ``__getstate__`` forces the (cached) load and
+    # drops the function, so model specs travel to process-pool workers and
+    # shard subprocesses carrying concrete arrays instead of code.
+    def __getstate__(self) -> dict:
+        self.load(name=self.__name__)
+        return {"_fn": None, "_cache": self._cache, "__name__": self.__name__}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 def DataLoader(fn: Callable[[], dict]) -> BoundDataLoader:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bayesopt.results import Evaluation, coerce_evaluation
 from repro.errors import DesignSpaceError
+from repro.fsio import atomic_write_json
 
 #: File format tag and version, checked on load (persistence convention).
 FORMAT = "homunculus-evaluation-cache"
@@ -59,6 +60,19 @@ def _jsonable(value):
 class EvaluationCache:
     """In-memory evaluation memo with optional JSON spill.
 
+    Example::
+
+        cache = EvaluationCache(path="spills/ad_dnn.json")  # loads if present
+        engine = ParallelEvaluator(space, objective, n_workers=4, cache=cache)
+        engine.run(budget=20)
+        cache.save()                       # atomic write-back to the path
+        cache.load("spills/other.json")    # fold in another run (LWW merge)
+
+    Instances pickle (the internal lock is dropped and re-created), so a
+    pre-populated cache can ride into a process-pool worker; note that a
+    pickled copy is a snapshot — entries added in the worker do not
+    propagate back by themselves.
+
     Parameters
     ----------
     path:
@@ -74,6 +88,17 @@ class EvaluationCache:
         self.path = path
         if path is not None and os.path.exists(path):
             self.load(path)
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = dict(self.__dict__)
+            state["_entries"] = dict(self._entries)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- core mapping --------------------------------------------------------
     def get(self, config: dict) -> "Evaluation | None":
@@ -114,7 +139,16 @@ class EvaluationCache:
 
     # -- JSON spill ----------------------------------------------------------
     def save(self, path: "str | None" = None) -> str:
-        """Write all entries to ``path`` (default: the constructor path)."""
+        """Write all entries to ``path`` (default: the constructor path).
+
+        The write is **atomic**: entries are serialized to a temporary
+        file in the target directory and moved into place with
+        :func:`os.replace`.  Concurrent writers (e.g. two shards of a
+        distributed search spilling the same family cache) can therefore
+        never interleave partial JSON — a reader always sees one
+        writer's complete document, and the last writer wins, matching
+        the :meth:`load` merge semantics.
+        """
         path = path if path is not None else self.path
         if path is None:
             raise DesignSpaceError("EvaluationCache.save needs a path")
@@ -129,12 +163,7 @@ class EvaluationCache:
                 for e in self._entries.values()
             ]
         doc = {"format": FORMAT, "version": VERSION, "entries": entries}
-        parent = os.path.dirname(path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(doc, handle, indent=1)
-        return path
+        return atomic_write_json(path, doc)
 
     def load(self, path: "str | None" = None) -> int:
         """Merge entries from ``path``; returns how many were loaded.
@@ -186,6 +215,13 @@ class CachedObjective:
     configurations from the cache, so a BO loop (or a user probing configs
     by hand) never pays twice for the same point.  ``calls`` counts the
     underlying invocations actually made.
+
+    Example::
+
+        objective = CachedObjective(expensive_fn, EvaluationCache("memo.json"))
+        BayesianOptimizer(space, objective, seed=0).run(budget=20)
+        objective.cache.save()       # warm-start the next run
+        assert objective.calls <= 20  # duplicates were served from cache
     """
 
     def __init__(self, objective_fn, cache: "EvaluationCache | None" = None) -> None:

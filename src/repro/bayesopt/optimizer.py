@@ -165,6 +165,12 @@ class BayesianOptimizer:
 
         The twin can suggest ahead (e.g. a constant-liar batch) without
         consuming this optimizer's random streams.
+
+        Example::
+
+            planner = opt.fork()
+            batch = planner.suggest_batch(result, n=4)   # opt's RNG untouched
+            assert batch[0] == opt.suggest(result)       # element 1 is exact
         """
         twin = object.__new__(type(self))
         twin.__dict__.update(self.__dict__)
@@ -173,7 +179,20 @@ class BayesianOptimizer:
         return twin
 
     def snapshot(self) -> tuple:
-        """Capture the optimizer's random state (see :meth:`restore`)."""
+        """Capture the optimizer's random state (see :meth:`restore`).
+
+        Snapshots are deep copies, so they stay valid no matter how far
+        the live optimizer advances afterwards; together with
+        :meth:`restore` they give shard schedulers a way to hand a
+        search off between processes at a suggestion boundary.
+
+        Example::
+
+            state = opt.snapshot()
+            config_a = opt.suggest(result)     # advances the RNG streams
+            opt.restore(state)
+            assert opt.suggest(result) == config_a   # bit-identical replay
+        """
         return (copy.deepcopy(self._rng), copy.deepcopy(self._surrogate_seed))
 
     def restore(self, state: tuple) -> None:

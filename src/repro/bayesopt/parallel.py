@@ -81,6 +81,18 @@ def _seed_process_worker(base_seed: int) -> None:
 class ParallelEvaluator:
     """Batched, cached, pool-backed drop-in for ``BayesianOptimizer.run``.
 
+    Example::
+
+        engine = ParallelEvaluator(space, objective, n_workers=4, seed=0)
+        result = engine.run(budget=20)    # == BayesianOptimizer(...).run(20)
+        engine.stats["speculative_hits"]  # how often speculation paid off
+
+    ``stats`` after a run holds ``rounds`` (planning rounds), ``evaluated``
+    (real black-box calls), ``speculative_hits`` (prefetched suggestions
+    the serial replay actually used), ``replans`` (speculation divergences)
+    and ``speculative_failures`` (discarded speculative errors) — the
+    shard scheduler in :mod:`repro.distrib` aggregates these per run.
+
     Parameters
     ----------
     space / objective_fn:

@@ -28,13 +28,20 @@ import sys
 import repro
 from repro.alchemy import DataLoader, Model, Platforms
 from repro.core.export import export_report
-from repro.datasets import load_botnet, load_csv_dataset, load_iot, load_nslkdd
+from repro.datasets import load_botnet, load_csv_dataset, load_iot
+from repro.distrib.launchers import LAUNCHERS
+from repro.distrib.runspec import APP_LOADERS
 from repro.serving import DROP_POLICIES
 
+#: app key -> (model name, seed offset).  The offset keeps each app's
+#: dataset stream independent of the others for a given --seed; both the
+#: serial and sharded paths load through the single
+#: repro.distrib.runspec.APP_LOADERS registry, so they can never
+#: materialize different arrays.
 _APPS = {
-    "ad": ("anomaly_detection", lambda seed: load_nslkdd(seed=seed + 7)),
-    "tc": ("traffic_classification", lambda seed: load_iot(seed=seed + 11)),
-    "bd": ("botnet_detection", lambda seed: load_botnet(seed=seed + 13)),
+    "ad": ("anomaly_detection", 7),
+    "tc": ("traffic_classification", 11),
+    "bd": ("botnet_detection", 13),
 }
 
 _PLATFORMS = {
@@ -81,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", default=None,
         help="directory for persistent evaluation-cache JSON spills",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the search into this many shards "
+             "(results identical to --shards 1; see docs/distrib.md)",
+    )
+    parser.add_argument(
+        "--launcher", default=None, choices=sorted(LAUNCHERS),
+        help="how shards execute: inprocess threads, one subprocess per "
+             "shard, or a work-queue directory N machines can drain "
+             "(default: inprocess)",
+    )
+    parser.add_argument(
+        "--shard-dir", default=None,
+        help="scratch directory for shard task/result/spill files "
+             "(subprocess + workqueue launchers; default: a temp dir)",
+    )
+    parser.add_argument(
+        "--starts", type=int, default=1,
+        help="multi-start search: independent BO trajectories per "
+             "algorithm family, best kept (sharded runs only)",
     )
     return parser
 
@@ -349,6 +377,53 @@ def serve_main(argv: "list | None" = None) -> int:
     return 0
 
 
+def _sharded_main(args) -> int:
+    """The distributed generate path: RunSpec -> run_sharded -> report."""
+    from repro.distrib import DatasetRef, ModelEntry, RunSpec, make_launcher, run_sharded
+
+    if args.app:
+        name, offset = _APPS[args.app]
+        dataset_ref = DatasetRef.for_app(args.app, seed=args.seed + offset)
+    else:
+        name = args.name
+        dataset_ref = DatasetRef.for_csv(args.train, args.test, name=name)
+    performance = {}
+    if args.throughput is not None:
+        performance["throughput"] = args.throughput
+    if args.latency is not None:
+        performance["latency"] = args.latency
+    spec = RunSpec(
+        target=args.target,
+        models=[
+            ModelEntry(
+                name=name,
+                dataset=dataset_ref,
+                metric=args.metric,
+                algorithms=tuple(args.algorithm or ()),
+            )
+        ],
+        performance=performance,
+        budget=args.budget,
+        seed=args.seed,
+        starts=args.starts,
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        cache_dir=args.cache_dir,
+    )
+    launcher = make_launcher(args.launcher or "inprocess")
+    out = run_sharded(
+        spec, shards=args.shards, launcher=launcher, shard_dir=args.shard_dir
+    )
+    print(out.summary())
+    best = out.report.best
+    if best is not None:
+        print(f"config: {best.best_config}")
+    if args.out:
+        path = export_report(out.report, args.out)
+        print(f"deployment bundle written to {path}")
+    return 0 if out.report.feasible else 1
+
+
 def main(argv: "list | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
@@ -363,10 +438,15 @@ def main(argv: "list | None" = None) -> int:
     if args.batch_size is not None and args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 1 or args.starts < 1:
+        print("error: --shards and --starts must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 or args.starts > 1 or args.launcher or args.shard_dir:
+        return _sharded_main(args)
 
     if args.app:
-        name, loader_fn = _APPS[args.app]
-        dataset = loader_fn(args.seed)
+        name, offset = _APPS[args.app]
+        dataset = APP_LOADERS[args.app](seed=args.seed + offset)
     else:
         name = args.name
         dataset = load_csv_dataset(args.train, args.test, name=name)

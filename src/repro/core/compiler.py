@@ -31,7 +31,37 @@ from repro.core.reports import CompileReport, ModelReport
 from repro.errors import InfeasibleError, SpecificationError
 from repro.rng import derive
 
-__all__ = ["generate", "CompileReport", "family_cache_path"]
+__all__ = [
+    "generate",
+    "CompileReport",
+    "family_cache_path",
+    "model_search_seed",
+    "family_search_seed",
+    "pick_winner",
+    "finalize_model_report",
+    "compose_report",
+]
+
+
+def model_search_seed(seed: int, index: int) -> int:
+    """The per-model seed ``generate`` derives for the ``index``-th model.
+
+    Exposed so that out-of-process executors (the shard scheduler in
+    :mod:`repro.distrib`) reproduce the serial derivation exactly — a
+    shard that re-derived seeds differently would silently change every
+    search trajectory.
+    """
+    return int(derive(int(seed), int(index)).integers(0, 2**31))
+
+
+def family_search_seed(model_seed: int, family_index: int):
+    """The BO seed for the ``family_index``-th candidate family.
+
+    Derived from the family *index*, not the execution order, so results
+    are identical no matter how many families run concurrently — or on
+    which machine a shard runs them.
+    """
+    return derive(int(model_seed), 1000 + int(family_index))
 
 
 def family_cache_path(
@@ -84,12 +114,16 @@ def _search_one_family(
     n_workers: int,
     batch_size: "int | None",
     cache_dir: "str | None",
+    executor: str = "thread",
+    family_seed=None,
 ):
     """One constrained-BO loop for one algorithm family.
 
-    Returns ``(evaluator, result)``.  The family seed is derived from the
-    family index (not the execution order), so results are identical no
-    matter how many families run concurrently.
+    Returns ``(engine, evaluator, result)``.  The family seed is derived
+    from the family index (not the execution order), so results are
+    identical no matter how many families run concurrently; a shard
+    scheduler may pass an explicit ``family_seed`` (e.g. a multi-start
+    salt) to override the default derivation.
     """
     limits = constraints.get("resources", {})
     space = build_design_space(algorithm, dataset, backend, limits)
@@ -110,7 +144,8 @@ def _search_one_family(
         train_epochs=train_epochs,
         cache=cache,
     )
-    family_seed = derive(seed, 1000 + index)
+    if family_seed is None:
+        family_seed = family_search_seed(seed, index)
     if n_workers > 1 or (batch_size is not None and batch_size > 1):
         engine = ParallelEvaluator(
             space,
@@ -120,6 +155,7 @@ def _search_one_family(
             warmup=min(warmup, budget),
             seed=family_seed,
             cache=cache,
+            executor=executor,
         )
     else:
         engine = BayesianOptimizer(
@@ -131,7 +167,62 @@ def _search_one_family(
     result = engine.run(budget)
     if cache_path is not None:
         cache.save()
-    return evaluator, result
+    return engine, evaluator, result
+
+
+def pick_winner(candidates: list, results: dict, model_name: str, budget: int):
+    """Final model selection: the best feasible incumbent across families.
+
+    ``results`` maps algorithm name to its
+    :class:`~repro.bayesopt.results.OptimizationResult`; ties break
+    toward the earlier candidate (strict ``>`` in candidate order),
+    which is the serial ``generate`` rule — shard merging reuses this
+    helper so a distributed run can never pick a different winner.
+    Returns ``(algorithm, best_evaluation)``.
+    """
+    best_algorithm = None
+    best_eval = None
+    for algorithm in candidates:
+        incumbent = results[algorithm].best
+        if incumbent is not None and (
+            best_eval is None or incumbent.objective > best_eval.objective
+        ):
+            best_algorithm = algorithm
+            best_eval = incumbent
+    if best_eval is None:
+        raise InfeasibleError(
+            f"no feasible configuration found for model {model_name!r} "
+            f"within budget {budget} (candidates: {candidates})"
+        )
+    return best_algorithm, best_eval
+
+
+def finalize_model_report(
+    model_spec, algorithm: str, evaluator, best_eval, candidate_results: dict
+) -> ModelReport:
+    """Re-train + re-lower the incumbent and assemble its report.
+
+    The rebuild is deterministic (training seeds derive from the config
+    contents), so the driver of a distributed run can regenerate the
+    winning pipeline locally from nothing but the winning configuration.
+    """
+    _, pipeline, float_pred = evaluator.rebuild(best_eval.config)
+    return ModelReport(
+        name=model_spec.name,
+        algorithm=algorithm,
+        best_config=dict(best_eval.config),
+        objective=best_eval.objective,
+        float_objective=best_eval.metrics.get("float_objective", best_eval.objective),
+        metric=model_spec.primary_metric,
+        feasible=True,
+        resources=dict(pipeline.resources.usage),
+        performance=pipeline.performance,
+        n_params=int(pipeline.metadata.get("n_params", 0)),
+        sources=dict(pipeline.sources),
+        metadata=dict(pipeline.metadata),
+        optimization=candidate_results[algorithm],
+        candidate_results=candidate_results,
+    )
 
 
 def _search_one_model(
@@ -146,6 +237,7 @@ def _search_one_model(
     n_workers: int = 1,
     batch_size: "int | None" = None,
     cache_dir: "str | None" = None,
+    executor: str = "thread",
 ) -> ModelReport:
     """Run candidate selection + BO for one model; build its final report.
 
@@ -166,7 +258,7 @@ def _search_one_model(
             model_spec, dataset, backend, constraints, algorithm, index,
             budget=budget, warmup=warmup, train_epochs=train_epochs, seed=seed,
             n_workers=per_family_workers, batch_size=batch_size,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, executor=executor,
         )
 
     if n_workers > 1 and len(candidates) > 1:
@@ -175,42 +267,22 @@ def _search_one_model(
     else:
         searched = [search(item) for item in enumerate(candidates)]
 
-    candidate_results: dict = {}
-    best_algorithm = None
-    best_evaluator = None
-    best_eval = None
-    for algorithm, (evaluator, result) in zip(candidates, searched):
-        candidate_results[algorithm] = result
-        incumbent = result.best
-        if incumbent is not None and (
-            best_eval is None or incumbent.objective > best_eval.objective
-        ):
-            best_algorithm = algorithm
-            best_evaluator = evaluator
-            best_eval = incumbent
-    if best_eval is None:
-        raise InfeasibleError(
-            f"no feasible configuration found for model {model_spec.name!r} "
-            f"within budget {budget} (candidates: {candidates})"
-        )
+    candidate_results = {
+        algorithm: result
+        for algorithm, (_, _, result) in zip(candidates, searched)
+    }
+    evaluators = {
+        algorithm: evaluator
+        for algorithm, (_, evaluator, _) in zip(candidates, searched)
+    }
+    best_algorithm, best_eval = pick_winner(
+        candidates, candidate_results, model_spec.name, budget
+    )
     # Final model selection & code generation: deterministically rebuild
     # the incumbent and emit its backend sources.
-    _, pipeline, float_pred = best_evaluator.rebuild(best_eval.config)
-    return ModelReport(
-        name=model_spec.name,
-        algorithm=best_algorithm,
-        best_config=dict(best_eval.config),
-        objective=best_eval.objective,
-        float_objective=best_eval.metrics.get("float_objective", best_eval.objective),
-        metric=model_spec.primary_metric,
-        feasible=True,
-        resources=dict(pipeline.resources.usage),
-        performance=pipeline.performance,
-        n_params=int(pipeline.metadata.get("n_params", 0)),
-        sources=dict(pipeline.sources),
-        metadata=dict(pipeline.metadata),
-        optimization=candidate_results[best_algorithm],
-        candidate_results=candidate_results,
+    return finalize_model_report(
+        model_spec, best_algorithm, evaluators[best_algorithm], best_eval,
+        candidate_results,
     )
 
 
@@ -252,6 +324,38 @@ def _sum_resources(reports: list) -> dict:
     return {k: round(v, 4) for k, v in total.items()}
 
 
+def compose_report(platform: PlatformSpec, reports: dict, seed: int) -> CompileReport:
+    """Compose per-model reports into the platform-level verdict.
+
+    Sums resources over distinct models (shared pipelines placed once)
+    and applies the throughput-consistency rule of §3.2.1.  Shared with
+    :mod:`repro.distrib`, whose merge step re-assembles a
+    :class:`CompileReport` from shard results.
+    """
+    constraints = platform.constraints()
+    total = _sum_resources(list(reports.values()))
+    limits = constraints.get("resources", {})
+    fits = all(
+        total.get(name, 0) <= limit for name, limit in limits.items()
+    )
+    # Throughput consistency across the composed schedule (§3.2.1).
+    per_model = {
+        name: report.performance.throughput_gpps for name, report in reports.items()
+    }
+    composed = platform.schedule_root.effective_throughput(per_model)
+    min_tput = constraints.get("performance", {}).get("throughput")
+    tput_ok = composed is None or min_tput is None or composed >= min_tput
+    return CompileReport(
+        target=platform.target,
+        constraints=constraints,
+        schedule=platform.schedule_root.describe(),
+        models=reports,
+        total_resources=total,
+        feasible=bool(fits and tput_ok and all(r.feasible for r in reports.values())),
+        seed=seed,
+    )
+
+
 def generate(
     platform: PlatformSpec,
     budget: int = 20,
@@ -262,6 +366,7 @@ def generate(
     n_workers: int = 1,
     batch_size: "int | None" = None,
     cache_dir: "str | None" = None,
+    executor: str = "thread",
 ) -> CompileReport:
     """Compile every model scheduled on ``platform`` (the paper's
     ``homunculus.generate``).
@@ -289,6 +394,11 @@ def generate(
     cache_dir:
         directory for per-family JSON evaluation-cache spills; reused by
         later runs to warm-start identical configurations.
+    executor:
+        ``"thread"`` (default) or ``"process"`` for the evaluation pool
+        inside each family search.  Process pools sidestep the GIL for
+        pure-Python objectives; model specs, evaluators, and caches all
+        pickle, so either executor produces identical results.
     """
     if not isinstance(platform, PlatformSpec):
         raise SpecificationError("generate() expects a PlatformSpec")
@@ -300,6 +410,10 @@ def generate(
         raise SpecificationError(f"n_workers must be >= 1, got {n_workers}")
     if batch_size is not None and batch_size < 1:
         raise SpecificationError(f"batch_size must be >= 1, got {batch_size}")
+    if executor not in ("thread", "process"):
+        raise SpecificationError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     if cache_dir is not None:
         # Fail before the search runs, not when the first spill saves.
         try:
@@ -320,30 +434,10 @@ def generate(
             budget=budget,
             warmup=warmup,
             train_epochs=train_epochs,
-            seed=int(derive(seed, index).integers(0, 2**31)),
+            seed=model_search_seed(seed, index),
             n_workers=n_workers,
             batch_size=batch_size,
             cache_dir=cache_dir,
+            executor=executor,
         )
-
-    total = _sum_resources(list(reports.values()))
-    limits = constraints.get("resources", {})
-    fits = all(
-        total.get(name, 0) <= limit for name, limit in limits.items()
-    )
-    # Throughput consistency across the composed schedule (§3.2.1).
-    per_model = {
-        name: report.performance.throughput_gpps for name, report in reports.items()
-    }
-    composed = platform.schedule_root.effective_throughput(per_model)
-    min_tput = constraints.get("performance", {}).get("throughput")
-    tput_ok = composed is None or min_tput is None or composed >= min_tput
-    return CompileReport(
-        target=platform.target,
-        constraints=constraints,
-        schedule=platform.schedule_root.describe(),
-        models=reports,
-        total_resources=total,
-        feasible=bool(fits and tput_ok and all(r.feasible for r in reports.values())),
-        seed=seed,
-    )
+    return compose_report(platform, reports, seed)

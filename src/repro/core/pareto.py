@@ -20,9 +20,11 @@ from repro.core.evaluator import ModelEvaluator
 from repro.errors import SpecificationError
 from repro.rng import derive
 
-#: The resource each backend trades accuracy against.
-_PRIMARY_RESOURCE = {"taurus": "resource_cus", "tofino": "resource_mats",
-                     "fpga": "resource_lut_pct"}
+#: The resource each backend trades accuracy against.  Public because the
+#: distributed merge (:mod:`repro.distrib`) fronts its per-model results
+#: over the same axes.
+PRIMARY_RESOURCE = {"taurus": "resource_cus", "tofino": "resource_mats",
+                    "fpga": "resource_lut_pct"}
 
 
 def search_pareto(
@@ -40,9 +42,9 @@ def search_pareto(
     "objective_key", "resource_key"}``; front entries are feasible and
     non-dominated (higher metric, lower resource).
     """
-    if platform.target not in _PRIMARY_RESOURCE:
+    if platform.target not in PRIMARY_RESOURCE:
         raise SpecificationError(f"no resource objective for {platform.target!r}")
-    resource_key = _PRIMARY_RESOURCE[platform.target]
+    resource_key = PRIMARY_RESOURCE[platform.target]
     backend = platform.backend()
     constraints = platform.constraints()
     dataset = model_spec.load_dataset()

@@ -1,0 +1,103 @@
+"""The distributed-search driver: ``run_sharded`` end to end.
+
+Plan, launch, merge — one call::
+
+    from repro.distrib import RunSpec, ModelEntry, DatasetRef, run_sharded
+
+    spec = RunSpec(
+        target="taurus",
+        models=[ModelEntry(name="ad", dataset=DatasetRef.for_app("ad", seed=7))],
+        budget=20, seed=0,
+    )
+    out = run_sharded(spec, shards=4)            # threads, this machine
+    out = run_sharded(spec, shards=4,            # processes, this machine
+                      launcher=SubprocessLauncher(), shard_dir="build/shards")
+    print(out.report.summary())                  # == the serial report
+
+The driver materializes datasets once and reuses them for planning and
+for the merge-time winner rebuilds; launchers that cross a process
+boundary re-materialize from the :class:`~repro.distrib.runspec.RunSpec`
+dataset references instead.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.errors import DistributionError
+
+from repro.distrib.launchers import InProcessLauncher, shard_spill_dir
+from repro.distrib.merge import (
+    DistributedReport,
+    merge_results,
+    merge_shard_spill_dirs,
+)
+from repro.distrib.runspec import RunSpec
+from repro.distrib.scheduler import plan_shards, plan_units
+
+__all__ = ["run_sharded"]
+
+
+def run_sharded(
+    spec: RunSpec,
+    shards: int = 1,
+    launcher=None,
+    shard_dir: "str | None" = None,
+) -> DistributedReport:
+    """Run a search partitioned over ``shards`` shards.
+
+    Parameters
+    ----------
+    spec:
+        the serializable run description.
+    shards:
+        how many shards to partition the work units into (clamped to
+        the unit count — an empty shard would only pay launch cost).
+    launcher:
+        an :class:`~repro.distrib.launchers.InProcessLauncher` (default),
+        :class:`~repro.distrib.launchers.SubprocessLauncher`, or
+        :class:`~repro.distrib.launchers.WorkQueueLauncher`.
+    shard_dir:
+        scratch directory for task/result/spill files.  Required
+        conceptually by the subprocess and work-queue launchers; when
+        omitted, a temporary directory is created (and the merged cache
+        still lands in ``spec.cache_dir`` if that is set).
+
+    Results are launcher- and shard-count-invariant; see
+    ``docs/distrib.md`` for why.
+    """
+    if shards < 1:
+        raise DistributionError(f"shards must be >= 1, got {shards}")
+    launcher = launcher if launcher is not None else InProcessLauncher()
+
+    datasets: dict = {}
+    units = plan_units(spec, datasets=datasets)
+    shard_specs = plan_shards(units, shards)
+
+    tmp = None
+    needs_dir = getattr(launcher, "name", "") in ("subprocess", "workqueue")
+    if shard_dir is None and (needs_dir or spec.cache_dir):
+        tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        shard_dir = tmp.name
+    try:
+        shard_results = launcher.launch(spec, shard_specs, shard_dir)
+        if len(shard_results) != len(shard_specs):
+            raise DistributionError(
+                f"launcher returned {len(shard_results)} shard results "
+                f"for {len(shard_specs)} shards"
+            )
+        merged = merge_results(spec, shard_results, datasets=datasets)
+        if spec.cache_dir:
+            os.makedirs(spec.cache_dir, exist_ok=True)
+            merged.cache = merge_shard_spill_dirs(
+                [
+                    shard_spill_dir(shard_dir, spec, shard.index)
+                    for shard in shard_specs
+                ],
+                spec.cache_dir,
+            )
+        return merged
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

@@ -1,0 +1,294 @@
+"""Pluggable shard launchers: how a planned partition actually executes.
+
+All three launchers share one contract — ``launch(spec, shards,
+shard_dir)`` returns the :class:`~repro.distrib.worker.ShardResult` list
+in shard-index order — and differ only in *where* the shards run:
+
+* :class:`InProcessLauncher` — a thread per shard in this process.  No
+  serialization, no startup cost; the reference implementation tests
+  compare the others against.
+* :class:`SubprocessLauncher` — one ``python -m repro.distrib.worker``
+  process per shard.  The real local backend: true multi-core scaling
+  for the GIL-bound parts of a search, isolated interpreter state, and
+  the same JSON wire format a remote machine would use.
+* :class:`WorkQueueLauncher` — posts shard tasks to a
+  :class:`~repro.distrib.queuedir.WorkQueue` directory and waits for
+  results.  By default it also spawns local drainers so a single host
+  completes the run, but any number of *other* machines pointed at the
+  same directory (``python -m repro.distrib.worker --drain <dir>``)
+  claim tasks out from under the local drainers — that is the
+  multi-node mode.
+
+Because every shard's trajectories are seeded by indices, the launcher
+choice changes wall-clock only, never results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import repro
+
+from repro.errors import DistributionError
+
+from repro.distrib.queuedir import WorkQueue
+from repro.distrib.runspec import RunSpec
+from repro.distrib.worker import ShardResult, run_shard, run_task_payload
+
+__all__ = [
+    "InProcessLauncher",
+    "SubprocessLauncher",
+    "WorkQueueLauncher",
+    "LAUNCHERS",
+    "make_launcher",
+    "shard_spill_dir",
+]
+
+
+def shard_spill_dir(shard_dir: "str | None", spec: RunSpec, index: int) -> "str | None":
+    """Where one shard spills its evaluation caches.
+
+    Each shard gets a private directory (``<shard_dir>/spills/shard-N``)
+    so concurrent shards never write the same file; the driver merges
+    them into ``spec.cache_dir`` afterwards.  Spills are enabled when
+    either a cache dir or a shard dir exists — the merged-cache
+    artifacts of a distributed run come from these files.
+    """
+    root = spec.cache_dir if shard_dir is None else shard_dir
+    if root is None:
+        return None
+    return os.path.join(root, "spills", f"shard-{index:04d}")
+
+
+def _task_payload(spec: RunSpec, shard, shard_dir: "str | None") -> dict:
+    return {
+        "run": spec.to_dict(),
+        "shard": shard.to_dict(),
+        "spill_dir": shard_spill_dir(shard_dir, spec, shard.index),
+    }
+
+
+def _src_pythonpath() -> str:
+    """A PYTHONPATH that resolves ``repro`` in a child interpreter."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class InProcessLauncher:
+    """Run shards on a thread pool inside the driver process.
+
+    Zero launch overhead; right for tests and for numpy-heavy workloads
+    where threads already scale.  ``max_workers=None`` runs every shard
+    concurrently.
+    """
+
+    name = "inprocess"
+
+    def __init__(self, max_workers: "int | None" = None) -> None:
+        self.max_workers = max_workers
+
+    def launch(self, spec: RunSpec, shards: list, shard_dir: "str | None") -> list:
+        width = self.max_workers or max(1, len(shards))
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            futures = [
+                pool.submit(
+                    run_shard, spec, shard,
+                    shard_spill_dir(shard_dir, spec, shard.index),
+                )
+                for shard in shards
+            ]
+            return [f.result() for f in futures]
+
+
+class SubprocessLauncher:
+    """One worker subprocess per shard (the real local backend).
+
+    Task and result files live under ``shard_dir`` (required — the
+    driver creates a temporary directory when the caller passes none).
+    Workers inherit the environment plus a ``PYTHONPATH`` that resolves
+    this library, so the launcher works from a source checkout without
+    installation.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, python: "str | None" = None,
+                 timeout: "float | None" = None) -> None:
+        self.python = python or sys.executable
+        self.timeout = timeout
+
+    def launch(self, spec: RunSpec, shards: list, shard_dir: "str | None") -> list:
+        if shard_dir is None:
+            raise DistributionError("SubprocessLauncher needs a shard_dir")
+        tasks_dir = os.path.join(shard_dir, "tasks")
+        os.makedirs(tasks_dir, exist_ok=True)
+        env = {**os.environ, "PYTHONPATH": _src_pythonpath()}
+        procs = []
+        outs = []
+        for shard in shards:
+            task_path = os.path.join(tasks_dir, f"shard-{shard.index:04d}.json")
+            out_path = os.path.join(tasks_dir, f"shard-{shard.index:04d}.result.json")
+            with open(task_path, "w") as handle:
+                json.dump(_task_payload(spec, shard, shard_dir), handle, indent=1)
+            outs.append(out_path)
+            procs.append(
+                subprocess.Popen(
+                    [self.python, "-m", "repro.distrib.worker",
+                     "--task", task_path, "--out", out_path],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+        results = []
+        failures = []
+        try:
+            for shard, proc, out_path in zip(shards, procs, outs):
+                stdout, stderr = proc.communicate(timeout=self.timeout)
+                if proc.returncode != 0 or not os.path.exists(out_path):
+                    failures.append(
+                        f"shard {shard.index}: exit {proc.returncode}\n"
+                        f"{stderr.strip() or stdout.strip()}"
+                    )
+                    continue
+                with open(out_path) as handle:
+                    results.append(ShardResult.from_dict(json.load(handle)))
+        finally:
+            # A timeout (or any other mid-collection error) must not
+            # orphan the remaining workers: they would keep burning CPU
+            # and write into a directory the driver may be deleting.
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+        if failures:
+            raise DistributionError(
+                "subprocess shard(s) failed:\n" + "\n".join(failures)
+            )
+        return sorted(results, key=lambda r: r.index)
+
+
+class WorkQueueLauncher:
+    """Post shards to a work-queue directory and wait for the results.
+
+    Parameters
+    ----------
+    drainers:
+        local drainers to start (0 = rely entirely on external machines
+        already pointed at the directory).
+    mode:
+        ``"subprocess"`` (default) starts drainer worker processes;
+        ``"thread"`` drains in-process (cheap, for tests).
+    timeout:
+        overall seconds to wait for all results.
+    """
+
+    name = "workqueue"
+
+    def __init__(self, drainers: int = 1, mode: str = "subprocess",
+                 timeout: "float | None" = None) -> None:
+        if mode not in ("subprocess", "thread"):
+            raise DistributionError(
+                f"mode must be 'subprocess' or 'thread', got {mode!r}"
+            )
+        if drainers < 0:
+            raise DistributionError(f"drainers must be >= 0, got {drainers}")
+        self.drainers = drainers
+        self.mode = mode
+        self.timeout = timeout
+
+    def launch(self, spec: RunSpec, shards: list, shard_dir: "str | None") -> list:
+        if shard_dir is None:
+            raise DistributionError("WorkQueueLauncher needs a shard_dir")
+        queue_dir = os.path.join(shard_dir, "queue")
+        queue = WorkQueue(queue_dir)
+        names = []
+        for shard in shards:
+            name = f"shard-{shard.index:04d}"
+            queue.post(name, _task_payload(spec, shard, shard_dir))
+            names.append(name)
+
+        procs: list = []
+        threads: list = []
+        if self.drainers and self.mode == "subprocess":
+            env = {**os.environ, "PYTHONPATH": _src_pythonpath()}
+            for _ in range(self.drainers):
+                procs.append(
+                    subprocess.Popen(
+                        [sys.executable, "-m", "repro.distrib.worker",
+                         "--drain", queue_dir],
+                        env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                )
+        elif self.drainers:
+            def drain_thread() -> None:
+                while True:
+                    claim = queue.claim()
+                    if claim is None:
+                        return
+                    name, payload = claim
+                    try:
+                        queue.complete(name, run_task_payload(payload))
+                    except Exception as exc:
+                        queue.fail(name, f"{type(exc).__name__}: {exc}")
+
+            for _ in range(self.drainers):
+                thread = threading.Thread(target=drain_thread, daemon=True)
+                thread.start()
+                threads.append(thread)
+
+        def alive() -> bool:
+            # Once every *local* drainer is gone, unfinished work — still
+            # pending, or claimed by a drainer that died mid-task — can
+            # only complete via an external machine; with local drainers
+            # configured we must not assume one exists, so abort instead
+            # of polling forever on an orphaned claim.  (Mixed local +
+            # external fleets should use drainers=0 or a timeout.)
+            if procs:
+                if any(p.poll() is None for p in procs):
+                    return True
+                return not queue.pending() and not queue.claimed()
+            if threads:
+                if any(t.is_alive() for t in threads):
+                    return True
+                return not queue.pending() and not queue.claimed()
+            return True  # external drainers only: wait for the timeout
+
+        try:
+            payloads = queue.wait_names(
+                names, timeout=self.timeout, alive=alive if self.drainers else None
+            )
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for thread in threads:
+                thread.join(timeout=5)
+        results = [ShardResult.from_dict(payloads[name]) for name in names]
+        return sorted(results, key=lambda r: r.index)
+
+
+#: Launcher registry for CLI flags.
+LAUNCHERS = {
+    InProcessLauncher.name: InProcessLauncher,
+    SubprocessLauncher.name: SubprocessLauncher,
+    WorkQueueLauncher.name: WorkQueueLauncher,
+}
+
+
+def make_launcher(name: str, **kwargs):
+    """Instantiate a launcher by registry name (CLI plumbing)."""
+    if name not in LAUNCHERS:
+        raise DistributionError(
+            f"unknown launcher {name!r}; available: {sorted(LAUNCHERS)}"
+        )
+    return LAUNCHERS[name](**kwargs)

@@ -1,0 +1,310 @@
+"""Merge shard results back into one run-level report.
+
+Three independent merges happen here, one per artifact kind:
+
+* **Winners** — per model, each family's best-over-starts incumbent
+  competes under the *serial* selection rule
+  (:func:`repro.core.compiler.pick_winner`), and the winning
+  configuration is deterministically rebuilt in the driver — so a
+  distributed run's :class:`~repro.core.reports.CompileReport` is
+  bit-identical to the serial one (``starts == 1``) or strictly better
+  (multi-start).
+* **Pareto fronts** — shards ship their per-unit non-dominated sets;
+  the merge pools them per model and re-filters dominance across
+  shards (a point on a shard's front may be dominated by another
+  shard's — re-filtering is what makes the union a real front).
+* **Evaluation caches** — per-family JSON spills are folded
+  **last-writer-wins** in shard order, the documented
+  :meth:`~repro.bayesopt.cache.EvaluationCache.load` merge semantics;
+  because evaluations are deterministic functions of their
+  configuration, conflicting writers always carry equal values and the
+  merged cache is shard-count-invariant.
+
+Per-shard :attr:`~repro.bayesopt.parallel.ParallelEvaluator.stats`
+counters are summed into a run-level view alongside per-shard wall
+clock, so an operator sees where a fleet spent its time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.bayesopt.cache import EvaluationCache
+from repro.bayesopt.scalarization import pareto_front
+from repro.core.compiler import (
+    compose_report,
+    finalize_model_report,
+    pick_winner,
+)
+from repro.core.evaluator import ModelEvaluator
+from repro.core.pareto import PRIMARY_RESOURCE
+from repro.core.reports import CompileReport
+from repro.errors import DistributionError
+
+from repro.distrib.runspec import RunSpec
+from repro.distrib.scheduler import plan_units, unit_model_seed
+
+__all__ = [
+    "DistributedReport",
+    "merge_results",
+    "merge_fronts",
+    "merge_spills",
+    "merge_shard_spill_dirs",
+    "aggregate_stats",
+]
+
+
+def merge_fronts(fronts: list, resource_key: str) -> list:
+    """Re-filter per-shard Pareto fronts into one global front.
+
+    ``fronts`` is a list of evaluation lists (each already non-dominated
+    *within its shard*).  Dominance is re-tested across the pooled
+    points — the union of fronts is not a front — over (objective
+    maximized, ``resource_key`` minimized).  Ordering is deterministic:
+    ascending resource, then descending objective.
+    """
+    pooled = [
+        e for front in fronts for e in front
+        if e.feasible and resource_key in e.metrics
+    ]
+    if not pooled:
+        return []
+    points = [
+        {"objective": float(e.objective), "resource": -float(e.metrics[resource_key])}
+        for e in pooled
+    ]
+    keep = pareto_front(points, ["objective", "resource"])
+    front = [pooled[i] for i in keep]
+    # Deduplicate identical (objective, resource) pairs contributed by
+    # several shards (e.g. the same cached config evaluated twice).
+    unique: dict = {}
+    for e in front:
+        key = (round(float(e.objective), 12),
+               round(float(e.metrics[resource_key]), 12),
+               tuple(sorted((k, repr(v)) for k, v in e.config.items())))
+        unique.setdefault(key, e)
+    return sorted(
+        unique.values(),
+        key=lambda e: (float(e.metrics[resource_key]), -float(e.objective)),
+    )
+
+
+def merge_spills(spill_paths: list, out_path: str) -> EvaluationCache:
+    """Fold cache spill files into one spill, last writer wins.
+
+    ``spill_paths`` must be ordered (shard order); later files override
+    earlier ones for conflicting configurations, exactly as documented
+    on :meth:`EvaluationCache.load`.  The merged cache is written
+    atomically to ``out_path`` and returned.
+    """
+    merged = EvaluationCache()
+    for path in spill_paths:
+        merged.load(path)
+    merged.save(out_path)
+    merged.path = out_path
+    return merged
+
+
+def aggregate_stats(shard_results: list) -> dict:
+    """Run-level statistics: summed engine counters + per-shard timing."""
+    engine_totals: dict = {}
+    per_shard = []
+    units = 0
+    for shard in shard_results:
+        unit_stats = [u.stats for u in shard.units if u.stats]
+        units += len(shard.units)
+        for stats in unit_stats:
+            for key, value in stats.items():
+                engine_totals[key] = engine_totals.get(key, 0) + value
+        per_shard.append(
+            {
+                "shard": shard.index,
+                "units": len(shard.units),
+                "elapsed_s": shard.elapsed_s,
+                "evaluations": sum(len(u.history) for u in shard.units),
+            }
+        )
+    return {
+        "shards": len(shard_results),
+        "units": units,
+        "per_shard": per_shard,
+        "engine": engine_totals,
+        "critical_path_s": max((s["elapsed_s"] for s in per_shard), default=0.0),
+        "total_work_s": sum(s["elapsed_s"] for s in per_shard),
+    }
+
+
+@dataclass
+class DistributedReport:
+    """What a sharded search hands back: the serial report plus the
+    artifacts only a distributed run has (global fronts, merged cache,
+    fleet statistics)."""
+
+    report: CompileReport
+    fronts: dict = field(default_factory=dict)   # model name -> [Evaluation]
+    stats: dict = field(default_factory=dict)
+    cache: "EvaluationCache | None" = None
+    shard_results: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        """The serial compile summary plus shard accounting."""
+        lines = [self.report.summary()]
+        if self.stats:
+            lines.append(
+                f"  shards: {self.stats['shards']} "
+                f"({self.stats['units']} units, "
+                f"critical path {self.stats['critical_path_s']:.1f}s "
+                f"of {self.stats['total_work_s']:.1f}s total work)"
+            )
+        for name, front in sorted(self.fronts.items()):
+            lines.append(f"  pareto[{name}]: {len(front)} non-dominated points")
+        return "\n".join(lines)
+
+
+def merge_results(
+    spec: RunSpec,
+    shard_results: list,
+    datasets: "dict | None" = None,
+) -> DistributedReport:
+    """Merge shard outputs into a :class:`DistributedReport`.
+
+    Validates coverage against a fresh :func:`~repro.distrib.scheduler.
+    plan_units` — every planned unit reported exactly once, nothing
+    unplanned — so a worker that silently dropped a family (or a stale
+    result from a different plan) fails loudly instead of quietly
+    changing the winner.  Then reduces multi-start trajectories
+    family-by-family, picks winners under the serial rule, rebuilds the
+    winning pipelines locally, and re-filters Pareto fronts across
+    shards.  Cache spills merge separately via :func:`merge_spills`
+    (they live on disk, keyed by family context).
+    """
+    # -- coverage ------------------------------------------------------------
+    by_unit: dict = {}
+    for shard in sorted(shard_results, key=lambda s: s.index):
+        for unit in shard.units:
+            key = (unit.model_index, unit.family_index, unit.start)
+            if key in by_unit:
+                raise DistributionError(
+                    f"unit {key} reported by two shards — bad partition"
+                )
+            by_unit[key] = unit
+    for (model_index, family_index, start), unit in by_unit.items():
+        if len(unit.history) != spec.budget:
+            raise DistributionError(
+                f"unit {(model_index, family_index, start)} returned "
+                f"{len(unit.history)} evaluations, expected {spec.budget}"
+            )
+    datasets = {} if datasets is None else datasets
+    planned = {
+        (u.model_index, u.family_index, u.start): u.algorithm
+        for u in plan_units(spec, datasets=datasets)
+    }
+    missing = sorted(set(planned) - set(by_unit))
+    unplanned = sorted(set(by_unit) - set(planned))
+    if missing or unplanned:
+        raise DistributionError(
+            "shard results do not match the plan — "
+            f"missing units: {missing}, unplanned units: {unplanned}"
+        )
+    mismatched = sorted(
+        key for key, unit in by_unit.items()
+        if unit.algorithm != planned[key]
+    )
+    if mismatched:
+        raise DistributionError(
+            f"shard results name the wrong algorithm for units {mismatched}"
+        )
+
+    platform = spec.build_platform(datasets=datasets)
+    backend = platform.backend()
+    constraints = platform.constraints()
+    resource_key = PRIMARY_RESOURCE.get(spec.target)
+
+    reports: dict = {}
+    fronts: dict = {}
+    for model_index, entry in enumerate(spec.models):
+        model_units = [u for u in by_unit.values() if u.model_index == model_index]
+        families = sorted({(u.family_index, u.algorithm) for u in model_units})
+
+        candidate_results: dict = {}
+        for family_index, algorithm in families:
+            starts = sorted(
+                (u for u in model_units if u.family_index == family_index),
+                key=lambda u: u.start,
+            )
+            # Multi-start reduction: keep the start with the best feasible
+            # incumbent (ties break toward the lower start index, and
+            # start 0 — the serial trajectory — is the baseline).
+            chosen = starts[0].result
+            for contender in starts[1:]:
+                result = contender.result
+                if result.best_objective is None:
+                    continue
+                if (
+                    chosen.best_objective is None
+                    or result.best_objective > chosen.best_objective
+                ):
+                    chosen = result
+            candidate_results[algorithm] = chosen
+
+        candidates = [algorithm for _, algorithm in families]
+        best_algorithm, best_eval = pick_winner(
+            candidates, candidate_results, entry.name, spec.budget
+        )
+        dataset = (datasets or {}).get(model_index)
+        if dataset is None:
+            dataset = entry.dataset.materialize()
+        model = entry.to_model(dataset)
+        evaluator = ModelEvaluator(
+            model,
+            dataset,
+            best_algorithm,
+            backend,
+            constraints,
+            seed=unit_model_seed(spec, model_index),
+            train_epochs=spec.train_epochs,
+        )
+        reports[entry.name] = finalize_model_report(
+            model, best_algorithm, evaluator, best_eval, candidate_results
+        )
+        if resource_key:
+            fronts[entry.name] = merge_fronts(
+                [[u.history[i] for i in u.front] for u in model_units],
+                resource_key,
+            )
+
+    report = compose_report(platform, reports, spec.seed)
+    return DistributedReport(
+        report=report,
+        fronts=fronts,
+        stats=aggregate_stats(shard_results),
+        shard_results=list(shard_results),
+    )
+
+
+def merge_shard_spill_dirs(
+    shard_spill_dirs: list, cache_dir: str
+) -> "EvaluationCache | None":
+    """Merge per-shard spill directories into ``cache_dir``.
+
+    Spill files are keyed by (model, family, context) in their basename,
+    so files sharing a basename across shards describe the same search
+    context; each basename group folds last-writer-wins in shard order
+    into ``cache_dir/<basename>``.  Returns a cache holding the union of
+    every merged entry (or ``None`` when nothing spilled).
+    """
+    grouped: dict = {}
+    for shard_dir in shard_spill_dirs:
+        if not shard_dir or not os.path.isdir(shard_dir):
+            continue
+        for name in sorted(os.listdir(shard_dir)):
+            if name.endswith(".json"):
+                grouped.setdefault(name, []).append(os.path.join(shard_dir, name))
+    if not grouped:
+        return None
+    union = EvaluationCache()
+    for name, paths in sorted(grouped.items()):
+        merge_spills(paths, os.path.join(cache_dir, name))
+        union.load(os.path.join(cache_dir, name))
+    return union

@@ -1,0 +1,196 @@
+"""A file/directory work-queue N machines can drain against shared storage.
+
+No broker, no sockets: the queue is four subdirectories on a filesystem
+every participant can reach (NFS, a bind mount, or just ``/tmp`` for
+single-host tests)::
+
+    <root>/
+      tasks/<name>.json     posted by the driver (atomic tmp + os.replace)
+      claimed/<name>.json   a worker owns the task (atomic os.rename claim)
+      results/<name>.json   completed payload (atomic tmp + os.replace)
+      failed/<name>.json    the task + error text of a crashed run
+
+The two primitives carry all the coordination:
+
+* **post/complete/fail** write a temporary file in the target directory
+  and ``os.replace`` it into place, so a concurrent reader can never
+  observe a partial JSON document;
+* **claim** is ``os.rename(tasks/X, claimed/X)`` — atomic on POSIX, so
+  exactly one of any number of racing workers wins a task; the losers
+  get ``FileNotFoundError`` and move on.
+
+Workers keep no connection to the driver.  The driver polls
+``results/`` (and ``failed/``) until every posted name is accounted
+for; a worker that dies *after* claiming leaves its task in
+``claimed/``, where :meth:`WorkQueue.requeue_stale` can push it back.
+
+Example::
+
+    queue = WorkQueue("/mnt/shared/search-7")      # driver, machine A
+    queue.post("shard-0000", payload)
+
+    # machines B..N, any number of them:
+    #   python -m repro.distrib.worker --drain /mnt/shared/search-7
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import DistributionError
+from repro.fsio import atomic_write_json
+
+__all__ = ["WorkQueue"]
+
+_SUBDIRS = ("tasks", "claimed", "results", "failed")
+
+
+class WorkQueue:
+    """Driver- and worker-side handle on one queue directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        for sub in _SUBDIRS:
+            os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+    # -- path helpers -------------------------------------------------------
+    def _path(self, sub: str, name: str) -> str:
+        return os.path.join(self.root, sub, f"{name}.json")
+
+    def _write_atomic(self, sub: str, name: str, payload: dict) -> str:
+        return atomic_write_json(self._path(sub, name), payload)
+
+    def _names(self, sub: str) -> list:
+        names = [
+            entry[: -len(".json")]
+            for entry in os.listdir(os.path.join(self.root, sub))
+            if entry.endswith(".json")
+        ]
+        return sorted(names)
+
+    # -- driver side --------------------------------------------------------
+    def post(self, name: str, payload: dict) -> str:
+        """Publish a task; visible to workers the moment it lands."""
+        return self._write_atomic("tasks", name, payload)
+
+    def pending(self) -> list:
+        """Task names not yet claimed."""
+        return self._names("tasks")
+
+    def claimed(self) -> list:
+        """Task names currently owned by some worker."""
+        return self._names("claimed")
+
+    def result_for(self, name: str) -> "dict | None":
+        """The completed payload for ``name``, or ``None`` if not done."""
+        path = self._path("results", name)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def failure_for(self, name: str) -> "dict | None":
+        path = self._path("failed", name)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def requeue_stale(self, name: str) -> bool:
+        """Push a claimed-but-unfinished task back to ``tasks/``.
+
+        For driver-side recovery after a worker death.  Returns whether
+        the task was actually moved (a racing completion loses nothing:
+        results are keyed by name and never deleted here).
+        """
+        try:
+            os.rename(self._path("claimed", name), self._path("tasks", name))
+            return True
+        except FileNotFoundError:
+            return False
+
+    # -- worker side --------------------------------------------------------
+    def claim(self) -> "tuple[str, dict] | None":
+        """Atomically take ownership of one pending task.
+
+        Returns ``(name, payload)`` or ``None`` when nothing is
+        claimable.  Racing claimants are safe: ``os.rename`` succeeds
+        for exactly one of them.
+        """
+        for name in self._names("tasks"):
+            src = self._path("tasks", name)
+            dst = self._path("claimed", name)
+            try:
+                os.rename(src, dst)
+            except FileNotFoundError:
+                continue  # another worker won this one
+            try:
+                with open(dst) as handle:
+                    return name, json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                self.fail(name, f"unreadable task payload: {exc}")
+        return None
+
+    def complete(self, name: str, payload: dict) -> str:
+        """Publish a result and release the claim."""
+        path = self._write_atomic("results", name, payload)
+        claimed = self._path("claimed", name)
+        if os.path.exists(claimed):
+            os.unlink(claimed)
+        return path
+
+    def fail(self, name: str, error: str) -> str:
+        """Record a crash; the claim moves to ``failed/`` with the error."""
+        claimed = self._path("claimed", name)
+        task: dict = {}
+        try:
+            with open(claimed) as handle:
+                task = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            pass
+        path = self._write_atomic("failed", name, {"error": error, "task": task})
+        if os.path.exists(claimed):
+            os.unlink(claimed)
+        return path
+
+    # -- bookkeeping --------------------------------------------------------
+    def wait_names(self, names: list, timeout: "float | None" = None,
+                   poll: float = 0.05, alive=None) -> dict:
+        """Block until every name has a result; raise on failures.
+
+        ``alive`` is an optional zero-argument callable the wait invokes
+        each poll — returning ``False`` aborts with an error (used by
+        launchers to detect dead drainer processes).
+        """
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: dict = {}
+        while True:
+            for name in names:
+                if name in results:
+                    continue
+                failure = self.failure_for(name)
+                if failure is not None:
+                    raise DistributionError(
+                        f"work-queue task {name!r} failed: {failure.get('error')}"
+                    )
+                payload = self.result_for(name)
+                if payload is not None:
+                    results[name] = payload
+            if len(results) == len(names):
+                return results
+            if alive is not None and not alive():
+                missing = sorted(set(names) - set(results))
+                raise DistributionError(
+                    f"work-queue drainers exited with tasks unfinished: {missing}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                missing = sorted(set(names) - set(results))
+                raise DistributionError(
+                    f"timed out waiting for work-queue results: {missing}"
+                )
+            time.sleep(poll)

@@ -1,0 +1,313 @@
+"""Shard execution: run a slice of a search and report it as JSON.
+
+One :class:`~repro.distrib.scheduler.ShardSpec` in, one
+:class:`ShardResult` out.  The worker rebuilds the platform from the
+:class:`~repro.distrib.runspec.RunSpec`, runs each work unit through the
+*same* family-search routine the serial compiler uses (seeded by
+indices, so trajectories are machine-independent), and serializes the
+evaluation histories, per-unit Pareto fronts, engine statistics, and
+cache-spill locations for the driver to merge.
+
+Runs in three modes:
+
+* **library** — :func:`run_shard` called in-process (the test launcher),
+* **subprocess** — ``python -m repro.distrib.worker --task t.json --out
+  r.json`` (one shard per process, the real local backend),
+* **drain** — ``python -m repro.distrib.worker --drain <queue-dir>``:
+  claim-run-complete against a shared work-queue directory until it is
+  empty; point any number of machines at the same directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.alchemy.platforms import PlatformSpec
+from repro.bayesopt.cache import _jsonable
+from repro.bayesopt.parallel import ParallelEvaluator
+from repro.bayesopt.results import Evaluation, OptimizationResult
+from repro.bayesopt.scalarization import pareto_front
+from repro.core.compiler import _search_one_family
+from repro.core.pareto import PRIMARY_RESOURCE
+from repro.fsio import atomic_write_json
+
+from repro.distrib.queuedir import WorkQueue
+from repro.distrib.runspec import RunSpec
+from repro.distrib.scheduler import ShardSpec, unit_family_seed, unit_model_seed
+
+__all__ = ["UnitResult", "ShardResult", "run_shard", "main"]
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> dict:
+    """JSON form of one evaluation (numpy scalars coerced)."""
+    return {
+        "config": _jsonable(evaluation.config),
+        "objective": float(evaluation.objective),
+        "feasible": bool(evaluation.feasible),
+        "metrics": _jsonable(evaluation.metrics),
+    }
+
+
+def evaluation_from_dict(doc: dict) -> Evaluation:
+    return Evaluation(
+        config=dict(doc["config"]),
+        objective=float(doc["objective"]),
+        feasible=bool(doc["feasible"]),
+        metrics=dict(doc.get("metrics", {})),
+    )
+
+
+def unit_front_indices(history: list, resource_key: str) -> list:
+    """Indices of the feasible, non-dominated evaluations of one history.
+
+    Dominance is over (objective maximized, primary resource minimized)
+    — the same axes as :func:`repro.core.pareto.search_pareto`.  Kept as
+    indices so the wire format never duplicates evaluations.
+    """
+    eligible = [
+        (i, e) for i, e in enumerate(history)
+        if e.feasible and resource_key in e.metrics
+    ]
+    if not eligible:
+        return []
+    points = [
+        {"objective": float(e.objective), "resource": -float(e.metrics[resource_key])}
+        for _, e in eligible
+    ]
+    keep = pareto_front(points, ["objective", "resource"])
+    return sorted(eligible[i][0] for i in keep)
+
+
+@dataclass
+class UnitResult:
+    """Everything one work unit produced."""
+
+    model_index: int
+    model_name: str
+    family_index: int
+    algorithm: str
+    start: int
+    history: list = field(default_factory=list)  # [Evaluation]
+    front: list = field(default_factory=list)    # indices into history
+    stats: "dict | None" = None                  # ParallelEvaluator.stats
+    spill: "str | None" = None                   # cache spill path, if any
+    elapsed_s: float = 0.0
+
+    @property
+    def result(self) -> OptimizationResult:
+        return OptimizationResult(history=list(self.history))
+
+    def to_dict(self) -> dict:
+        return {
+            "model_index": self.model_index,
+            "model_name": self.model_name,
+            "family_index": self.family_index,
+            "algorithm": self.algorithm,
+            "start": self.start,
+            "history": [evaluation_to_dict(e) for e in self.history],
+            "front": list(self.front),
+            "stats": self.stats,
+            "spill": self.spill,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "UnitResult":
+        return UnitResult(
+            model_index=int(doc["model_index"]),
+            model_name=doc["model_name"],
+            family_index=int(doc["family_index"]),
+            algorithm=doc["algorithm"],
+            start=int(doc.get("start", 0)),
+            history=[evaluation_from_dict(e) for e in doc.get("history", [])],
+            front=[int(i) for i in doc.get("front", [])],
+            stats=doc.get("stats"),
+            spill=doc.get("spill"),
+            elapsed_s=float(doc.get("elapsed_s", 0.0)),
+        )
+
+
+@dataclass
+class ShardResult:
+    """One shard's complete output, JSON-serializable end to end."""
+
+    index: int
+    n_shards: int
+    units: list = field(default_factory=list)  # [UnitResult]
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "n_shards": self.n_shards,
+            "units": [u.to_dict() for u in self.units],
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "ShardResult":
+        return ShardResult(
+            index=int(doc["index"]),
+            n_shards=int(doc["n_shards"]),
+            units=[UnitResult.from_dict(u) for u in doc.get("units", [])],
+            elapsed_s=float(doc.get("elapsed_s", 0.0)),
+        )
+
+
+def run_shard(
+    spec: RunSpec, shard: ShardSpec, spill_dir: "str | None" = None
+) -> ShardResult:
+    """Execute every work unit of one shard in this process.
+
+    ``spill_dir`` overrides where this shard's evaluation caches spill
+    (launchers give each shard its own directory so concurrent shards
+    never interleave; the driver merges afterwards).  Defaults to the
+    spec's ``cache_dir``.
+    """
+    started = time.perf_counter()
+    platform = PlatformSpec(spec.target)
+    if spec.performance:
+        platform.constrain(performance=dict(spec.performance))
+    if spec.resources:
+        platform.constrain(resources=dict(spec.resources))
+    backend = platform.backend()
+    constraints = platform.constraints()
+    resource_key = PRIMARY_RESOURCE.get(spec.target)
+    spill_dir = spill_dir if spill_dir is not None else spec.cache_dir
+
+    datasets: dict = {}
+    results: list = []
+    for unit in shard.units:
+        entry = spec.models[unit.model_index]
+        if unit.model_index not in datasets:
+            datasets[unit.model_index] = entry.dataset.materialize()
+        dataset = datasets[unit.model_index]
+        model = entry.to_model(dataset)
+        model_seed = unit_model_seed(spec, unit.model_index)
+        family_seed = unit_family_seed(model_seed, unit.family_index, unit.start)
+        unit_started = time.perf_counter()
+        engine, evaluator, result = _search_one_family(
+            model,
+            dataset,
+            backend,
+            constraints,
+            unit.algorithm,
+            unit.family_index,
+            budget=spec.budget,
+            warmup=spec.warmup,
+            train_epochs=spec.train_epochs,
+            seed=model_seed,
+            n_workers=spec.n_workers,
+            batch_size=spec.batch_size,
+            cache_dir=spill_dir,
+            executor=spec.executor,
+            family_seed=family_seed,
+        )
+        results.append(
+            UnitResult(
+                model_index=unit.model_index,
+                model_name=unit.model_name,
+                family_index=unit.family_index,
+                algorithm=unit.algorithm,
+                start=unit.start,
+                history=list(result.history),
+                front=(
+                    unit_front_indices(result.history, resource_key)
+                    if resource_key else []
+                ),
+                stats=(
+                    dict(engine.stats)
+                    if isinstance(engine, ParallelEvaluator) else None
+                ),
+                spill=evaluator.cache.path if evaluator.cache is not None else None,
+                elapsed_s=time.perf_counter() - unit_started,
+            )
+        )
+    return ShardResult(
+        index=shard.index,
+        n_shards=shard.n_shards,
+        units=results,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# process entry points
+# --------------------------------------------------------------------------- #
+def run_task_payload(payload: dict) -> dict:
+    """Execute one ``{"run":..., "shard":..., "spill_dir":...}`` task."""
+    spec = RunSpec.from_dict(payload["run"])
+    shard = ShardSpec.from_dict(payload["shard"])
+    result = run_shard(spec, shard, spill_dir=payload.get("spill_dir"))
+    return result.to_dict()
+
+
+def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0) -> int:
+    """Claim and run tasks from a queue directory until it goes quiet.
+
+    With ``max_idle == 0`` the drain exits as soon as no task is
+    claimable (the launcher posts everything before starting drainers);
+    a positive ``max_idle`` keeps polling that many seconds for
+    stragglers, which is the long-lived multi-machine mode.  Returns how
+    many tasks this worker completed.
+    """
+    queue = WorkQueue(queue_dir)
+    done = 0
+    idle_since: "float | None" = None
+    while True:
+        claim = queue.claim()
+        if claim is None:
+            now = time.monotonic()
+            if max_idle <= 0:
+                return done
+            idle_since = idle_since if idle_since is not None else now
+            if now - idle_since > max_idle:
+                return done
+            time.sleep(poll)
+            continue
+        idle_since = None
+        name, payload = claim
+        try:
+            queue.complete(name, run_task_payload(payload))
+            done += 1
+        except Exception as exc:  # a bad shard must not kill the drain loop
+            queue.fail(name, f"{type(exc).__name__}: {exc}")
+
+
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.distrib.worker",
+        description="Run one search shard (or drain a work-queue directory).",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--task", help="shard task JSON file")
+    mode.add_argument("--drain", metavar="QUEUE_DIR",
+                      help="claim+run tasks from this work-queue directory")
+    parser.add_argument("--out", help="result JSON path (with --task)")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="drain poll interval in seconds")
+    parser.add_argument(
+        "--max-idle", type=float, default=0.0,
+        help="keep draining this many idle seconds before exiting "
+             "(0 = exit when the queue is empty)",
+    )
+    args = parser.parse_args(argv)
+    if args.task:
+        if not args.out:
+            print("error: --task requires --out", file=sys.stderr)
+            return 2
+        with open(args.task) as handle:
+            payload = json.load(handle)
+        atomic_write_json(args.out, run_task_payload(payload))
+        return 0
+    completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle)
+    print(f"drained {completed} task(s) from {args.drain}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,3 +37,7 @@ class DatasetError(HomunculusError):
 
 class TrainingError(HomunculusError):
     """Model training failed (e.g. divergence or shape mismatch)."""
+
+
+class DistributionError(HomunculusError):
+    """A distributed search shard failed, stalled, or returned bad results."""

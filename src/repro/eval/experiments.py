@@ -58,9 +58,89 @@ def _make_model(app: str, dataset, algorithms=("dnn",)):
 # --------------------------------------------------------------------------- #
 # Table 2: hand-tuned baselines vs Homunculus-generated models on Taurus
 # --------------------------------------------------------------------------- #
+def _table2_sharded_reports(apps, budget: int, seed: int, quick: bool,
+                            n_workers: int, batch_size: "int | None",
+                            shards: int, launcher: "str | None",
+                            shard_dir: "str | None") -> dict:
+    """Compile every Table-2 app in ONE distributed run; per-app reports.
+
+    Each app's serial ``generate`` call searches its model at index 0,
+    so the combined run pins every model's seed to the index-0
+    derivation — per-app results stay bit-identical to the serial loop
+    while the shard scheduler gets apps × families of parallel work.
+    """
+    from repro.core.compiler import model_search_seed
+    from repro.core.reports import CompileReport
+    from repro.distrib import DatasetRef, ModelEntry, RunSpec, make_launcher, run_sharded
+
+    sizes = {
+        "ad": {"n_train": 1600, "n_test": 600} if quick else {"n_train": 2400, "n_test": 800},
+        "tc": {"n_train": 1600, "n_test": 600} if quick else {"n_train": 2500, "n_test": 900},
+        "bd": {"n_train_flows": 300, "n_test_flows": 120} if quick
+              else {"n_train_flows": 500, "n_test_flows": 200},
+    }
+    offsets = {"ad": 7, "tc": 11, "bd": 13}
+    names = {"ad": "anomaly_detection", "tc": "traffic_classification",
+             "bd": "botnet_detection"}
+    spec = RunSpec(
+        target="taurus",
+        models=[
+            ModelEntry(
+                name=names[app],
+                dataset=DatasetRef.for_app(app, seed=seed + offsets[app], **sizes[app]),
+                metric="f1",
+                algorithms=("dnn",),
+                seed=model_search_seed(seed, 0),
+            )
+            for app in apps
+        ],
+        performance={"throughput": 1, "latency": 500},
+        resources={"rows": 16, "cols": 16},
+        budget=budget,
+        seed=seed,
+        n_workers=n_workers,
+        batch_size=batch_size,
+    )
+    merged = run_sharded(
+        spec,
+        shards=shards,
+        launcher=make_launcher(launcher or "inprocess"),
+        shard_dir=shard_dir,
+    )
+    reports = {}
+    for app in apps:
+        report = merged.report.models[names[app]]
+        # Re-wrap as the single-model CompileReport the serial loop hands
+        # back, so downstream consumers (table 5 rebuilds) are unchanged.
+        reports[app] = CompileReport(
+            target="taurus",
+            constraints=merged.report.constraints,
+            schedule=names[app],
+            models={names[app]: report},
+            total_resources={k: round(v, 4) for k, v in report.resources.items()},
+            feasible=report.feasible,
+            seed=seed,
+        )
+    return reports
+
+
 def run_table2(budget: int = 15, seed: int = 0, quick: bool = True, apps=APPS,
-               n_workers: int = 1, batch_size: "int | None" = None) -> list:
-    """Rows: app x {baseline, homunculus} with F1 (%), params, CUs, MUs."""
+               n_workers: int = 1, batch_size: "int | None" = None,
+               shards: int = 1, launcher: "str | None" = None,
+               shard_dir: "str | None" = None) -> list:
+    """Rows: app x {baseline, homunculus} with F1 (%), params, CUs, MUs.
+
+    ``shards > 1`` compiles all apps in one sharded run (identical
+    results, lower wall clock); ``launcher`` names a
+    :mod:`repro.distrib` launcher ("inprocess", "subprocess",
+    "workqueue").
+    """
+    sharded_reports = None
+    if shards > 1 or launcher is not None:
+        sharded_reports = _table2_sharded_reports(
+            apps, budget, seed, quick, n_workers, batch_size,
+            shards, launcher, shard_dir,
+        )
     backend = TaurusBackend(TaurusGrid(16, 16))
     rows = []
     for app in apps:
@@ -85,13 +165,16 @@ def run_table2(budget: int = 15, seed: int = 0, quick: bool = True, apps=APPS,
             }
         )
 
-        platform = Platforms.Taurus().constrain(
-            performance={"throughput": 1, "latency": 500},
-            resources={"rows": 16, "cols": 16},
-        )
-        platform.schedule(_make_model(app, dataset))
-        report = repro.generate(platform, budget=budget, seed=seed,
-                            n_workers=n_workers, batch_size=batch_size)
+        if sharded_reports is not None:
+            report = sharded_reports[app]
+        else:
+            platform = Platforms.Taurus().constrain(
+                performance={"throughput": 1, "latency": 500},
+                resources={"rows": 16, "cols": 16},
+            )
+            platform.schedule(_make_model(app, dataset))
+            report = repro.generate(platform, budget=budget, seed=seed,
+                                    n_workers=n_workers, batch_size=batch_size)
         best = report.best
         rows.append(
             {

@@ -17,6 +17,7 @@ import os
 import sys
 import time
 
+from repro.distrib.launchers import LAUNCHERS
 from repro.eval import experiments as exp
 
 #: name -> (runner(**kwargs), formatter)
@@ -38,10 +39,14 @@ def run_experiment(
     quick: bool,
     n_workers: int = 1,
     batch_size: "int | None" = None,
+    shards: int = 1,
+    launcher: "str | None" = None,
+    shard_dir: "str | None" = None,
 ) -> str:
     """Run one experiment and return its formatted text.
 
-    ``n_workers``/``batch_size`` are forwarded to experiments whose
+    ``n_workers``/``batch_size`` — and the sharding knobs ``shards``/
+    ``launcher``/``shard_dir`` — are forwarded to experiments whose
     runners accept them (the ones driving compiler searches); the search
     results are identical to a serial run, only faster.
     """
@@ -53,6 +58,10 @@ def run_experiment(
     if "n_workers" in accepted:
         kwargs["n_workers"] = n_workers
         kwargs["batch_size"] = batch_size
+    if "shards" in accepted:
+        kwargs["shards"] = shards
+        kwargs["launcher"] = launcher
+        kwargs["shard_dir"] = shard_dir
     result = runner(**kwargs)
     return formatter(result)
 
@@ -82,12 +91,28 @@ def main(argv: "list | None" = None) -> int:
         "--batch-size", type=int, default=None,
         help="BO configurations evaluated per batch (default: --workers)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard compiler-driven experiments over this many shards "
+             "(identical results; see docs/distrib.md)",
+    )
+    parser.add_argument(
+        "--launcher", default=None, choices=sorted(LAUNCHERS),
+        help="shard launcher (default: inprocess)",
+    )
+    parser.add_argument(
+        "--shard-dir", default=None,
+        help="scratch directory for shard task/result/spill files",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     if args.batch_size is not None and args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
         return 2
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -101,6 +126,9 @@ def main(argv: "list | None" = None) -> int:
             quick=not args.full,
             n_workers=args.workers,
             batch_size=args.batch_size,
+            shards=args.shards,
+            launcher=args.launcher,
+            shard_dir=args.shard_dir,
         )
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) ===\n{text}")

@@ -1,0 +1,39 @@
+"""Filesystem helpers shared across subsystems.
+
+One audited implementation of the atomic-JSON-write pattern the
+evaluation cache, the work-queue protocol, and the shard worker all
+rely on: serialize to a uniquely named temporary file in the target
+directory, then move it into place with :func:`os.replace`.  Readers
+can never observe a partial document, and the last writer wins —
+exactly the semantics `EvaluationCache.load` documents for spill
+merging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+
+def atomic_write_json(path: str, doc, indent: int = 1) -> str:
+    """Write ``doc`` as JSON to ``path`` atomically.
+
+    The temporary name includes pid and thread id, so concurrent
+    writers in threads *or* processes never clobber each other's
+    in-flight file.  On failure the temporary file is removed and
+    ``path`` is left untouched (either absent or the previous
+    complete document).
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(doc, handle, indent=indent)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # a failed write must not leave litter
+            os.unlink(tmp)
+    return path

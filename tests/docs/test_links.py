@@ -1,8 +1,11 @@
-"""Docs sanity: every intra-repo markdown link resolves.
+"""Docs sanity: every intra-repo markdown link — and anchor — resolves.
 
-Scans README.md and docs/*.md for markdown links/images and asserts
-that relative targets exist in the working tree (external URLs and
-pure anchors are skipped).  Keeps the docs tree honest as files move.
+Scans README.md, docs/*.md, and the generated docs/reference/*.md for
+markdown links/images and asserts that relative targets exist in the
+working tree and that ``#fragment`` anchors name a real heading in the
+target document (GitHub slug rules, including duplicate-heading
+suffixes).  External URLs are skipped.  Keeps the docs tree honest as
+files move and headings get reworded.
 """
 
 import os
@@ -18,15 +21,41 @@ REPO_ROOT = os.path.abspath(
 #: (no nested brackets, no angle-bracket targets in use).
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+
 
 def doc_files():
     files = [os.path.join(REPO_ROOT, "README.md")]
     docs_dir = os.path.join(REPO_ROOT, "docs")
-    if os.path.isdir(docs_dir):
-        for name in sorted(os.listdir(docs_dir)):
+    for root, _dirs, names in os.walk(docs_dir):
+        for name in sorted(names):
             if name.endswith(".md"):
-                files.append(os.path.join(docs_dir, name))
+                files.append(os.path.join(root, name))
     return files
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (must match tools/gen_api_docs.slugify)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    """All anchor slugs a markdown file exposes (duplicates suffixed)."""
+    with open(path) as handle:
+        text = handle.read()
+    # Strip fenced code blocks: '# comment' lines inside them are not
+    # headings and must not mint anchors.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    slugs = set()
+    counts = {}
+    for match in HEADING.finditer(text):
+        slug = slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
 
 
 def intra_repo_links(path):
@@ -34,7 +63,7 @@ def intra_repo_links(path):
         text = handle.read()
     for match in LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
         yield target
 
@@ -45,27 +74,46 @@ def intra_repo_links(path):
 def test_intra_repo_links_resolve(doc):
     missing = []
     for target in intra_repo_links(doc):
-        # Strip a #fragment; resolve relative to the doc's directory.
-        file_part = target.split("#", 1)[0]
-        if not file_part:
-            continue
-        resolved = os.path.normpath(
-            os.path.join(os.path.dirname(doc), file_part)
-        )
-        if not os.path.exists(resolved):
-            missing.append(target)
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(doc), file_part)
+            )
+            if not os.path.exists(resolved):
+                missing.append(target)
+                continue
+        else:
+            resolved = doc  # pure '#anchor' link: same document
+        if fragment and resolved.endswith(".md"):
+            if fragment not in heading_slugs(resolved):
+                missing.append(f"{target} (no such anchor)")
     assert not missing, (
         f"{os.path.relpath(doc, REPO_ROOT)} has dangling links: {missing}"
     )
 
 
 def test_docs_pages_exist():
-    for page in ("architecture.md", "serving.md", "benchmarks.md"):
+    for page in ("architecture.md", "serving.md", "benchmarks.md", "distrib.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), page
+
+
+def test_reference_pages_exist():
+    for page in ("index.md", "bayesopt.md", "distrib.md", "serving.md"):
+        assert os.path.exists(
+            os.path.join(REPO_ROOT, "docs", "reference", page)
+        ), page
+
+
+def test_reference_is_covered_by_link_scan():
+    scanned = {os.path.relpath(p, REPO_ROOT) for p in doc_files()}
+    assert "docs/reference/index.md" in scanned
 
 
 def test_readme_links_into_docs():
     links = list(intra_repo_links(os.path.join(REPO_ROOT, "README.md")))
     assert any(link.startswith("docs/") for link in links), (
         "README should link into docs/"
+    )
+    assert any("distrib" in link for link in links), (
+        "README should link the distributed-search doc"
     )

@@ -193,3 +193,108 @@ class TestMain:
         assert code == 0
         spills = list(cache_dir.glob("*.json"))
         assert spills, "expected per-family cache spill files"
+
+
+class TestShardedCli:
+    def test_shard_flag_defaults(self):
+        args = build_parser().parse_args(["--app", "ad"])
+        assert args.shards == 1
+        assert args.launcher is None
+        assert args.shard_dir is None
+        assert args.starts == 1
+
+    def test_shard_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--app", "ad", "--shards", "4", "--launcher", "subprocess",
+             "--shard-dir", "/tmp/s", "--starts", "2"]
+        )
+        assert args.shards == 4
+        assert args.launcher == "subprocess"
+        assert args.shard_dir == "/tmp/s"
+        assert args.starts == 2
+
+    def test_unknown_launcher_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--app", "ad", "--launcher", "carrier"])
+
+    def test_invalid_shards_exit_code(self, capsys):
+        assert main(["--app", "tc", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_run_reproduces_serial_report(self, capsys):
+        argv = ["--app", "tc", "--target", "tofino",
+                "--algorithm", "decision_tree", "--algorithm", "svm",
+                "--budget", "3", "--seed", "0"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main([*argv, "--shards", "2", "--launcher", "inprocess"]) == 0
+        sharded_out = capsys.readouterr().out
+        # The compile-report block (everything before the shard
+        # accounting) must be identical, config line included.
+        serial_report = serial_out.strip().splitlines()
+        sharded_lines = sharded_out.strip().splitlines()
+        assert serial_report[0] == sharded_lines[0]
+        for line in serial_report:
+            if line.startswith("config:"):
+                assert line in sharded_lines
+        assert any("shards: 2" in line for line in sharded_lines)
+        assert any("pareto[" in line for line in sharded_lines)
+
+    def test_sharded_run_writes_deployment_bundle(self, tmp_path, capsys):
+        out_dir = tmp_path / "bundle"
+        code = main(
+            ["--app", "tc", "--target", "tofino",
+             "--algorithm", "decision_tree", "--budget", "3", "--seed", "0",
+             "--shards", "2", "--launcher", "inprocess", "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert "deployment bundle written" in capsys.readouterr().out
+        assert list(out_dir.rglob("*")), "bundle directory is empty"
+
+
+class TestRunnerShardFlags:
+    def test_runner_rejects_bad_shards(self, capsys):
+        from repro.eval.runner import main as runner_main
+
+        assert runner_main(["--experiment", "table2", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_run_experiment_forwards_shard_kwargs(self, monkeypatch):
+        from repro.eval import runner
+
+        captured = {}
+
+        def fake_table2(seed=0, quick=True, n_workers=1, batch_size=None,
+                        shards=1, launcher=None, shard_dir=None):
+            captured.update(shards=shards, launcher=launcher,
+                            shard_dir=shard_dir)
+            return []
+
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "table2", (fake_table2, lambda rows: "ok")
+        )
+        text = runner.run_experiment(
+            "table2", seed=3, quick=True, shards=4,
+            launcher="subprocess", shard_dir="/tmp/q",
+        )
+        assert text == "ok"
+        assert captured["shards"] == 4
+        assert captured["launcher"] == "subprocess"
+        assert captured["shard_dir"] == "/tmp/q"
+
+    def test_run_experiment_skips_shards_for_non_compiler_experiments(
+        self, monkeypatch
+    ):
+        from repro.eval import runner
+
+        captured = {}
+
+        def fake_fig6(seed=0, n_flows=10):
+            captured.update(seed=seed)
+            return {}
+
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "fig6", (fake_fig6, lambda r: "ok")
+        )
+        assert runner.run_experiment("fig6", seed=1, quick=True, shards=4) == "ok"
+        assert "shards" not in captured
