@@ -1,4 +1,4 @@
-"""Shard scheduler: wall-clock speedup + bit-identity macrobench.
+"""Shard scheduler: wall-clock speedup + bit-identity + chaos macrobench.
 
 The distributed claim is two-sided — faster, and *exactly* the same
 answer — so this bench gates both.  A four-model compile (two anomaly-
@@ -21,6 +21,15 @@ needs real cores: on hosts with fewer than ``N_SHARDS`` CPUs the gate
 is reported but not enforced (the PR-3 convention for
 machine-dependent wall-clock gates), while the bit-identity gate —
 the half of the claim hardware cannot excuse — always is.
+
+The **chaos leg** (``-k chaos``, the blocking CI smoke) extends the
+bit-identity claim through the fault-tolerance layer: a two-drainer
+work-queue run in which one drainer dies hard (``os._exit``, the
+SIGKILL equivalent) between claim and complete, *and* another unit
+records a real failure.  The reaper must requeue the orphaned claim,
+the driver must re-post the failed unit under its next attempt name,
+and the merged run must still match the serial ``generate`` bit for
+bit.
 """
 
 import os
@@ -33,8 +42,10 @@ from repro.distrib import (
     ModelEntry,
     RunSpec,
     SubprocessLauncher,
+    WorkQueueLauncher,
     run_sharded,
 )
+from repro.distrib.worker import CHAOS_FAIL_ENV, CHAOS_KILL_ENV
 
 BUDGET = 10
 WARMUP = 4
@@ -139,3 +150,90 @@ def test_sharded_generate_speedup(record_result):
         assert speedup >= MIN_SPEEDUP, (
             f"expected >= {MIN_SPEEDUP}x speedup, got {speedup:.2f}x"
         )
+
+
+# --------------------------------------------------------------------------- #
+# chaos leg: drainer killed mid-run + a recorded failure, still bit-identical
+# --------------------------------------------------------------------------- #
+CHAOS_BUDGET = 4
+CHAOS_WARMUP = 2
+CHAOS_EPOCHS = 4
+CHAOS_STALE_AFTER = 2.0
+CHAOS_HEARTBEAT = 0.3
+
+
+def make_chaos_spec() -> RunSpec:
+    # Two cheap families (no NN training): unit-0000 = decision_tree,
+    # unit-0001 = svm.  Small enough for a blocking CI job.
+    return RunSpec(
+        target="tofino",
+        models=[
+            ModelEntry(
+                name="tc",
+                dataset=DatasetRef.for_app("tc", n_train=200, n_test=80, seed=11),
+                algorithms=("decision_tree", "svm"),
+            )
+        ],
+        budget=CHAOS_BUDGET,
+        warmup=CHAOS_WARMUP,
+        train_epochs=CHAOS_EPOCHS,
+        seed=SEED,
+    )
+
+
+def test_chaos_drainer_death_preserves_bit_identity(record_result):
+    spec = make_chaos_spec()
+    serial_report = repro.generate(
+        spec.build_platform(), budget=CHAOS_BUDGET, warmup=CHAOS_WARMUP,
+        train_epochs=CHAOS_EPOCHS, seed=SEED,
+    )
+
+    saved_env = {
+        key: os.environ.get(key) for key in (CHAOS_KILL_ENV, CHAOS_FAIL_ENV)
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as scratch:
+        # Whichever drainer claims unit 0 dies hard between claim and
+        # complete (orphaned claim -> reaper requeue); unit 1's first
+        # attempt records a failure (failed/ entry -> driver re-post).
+        os.environ[CHAOS_KILL_ENV] = f"unit-0000.a0@{scratch}/kill-marker"
+        os.environ[CHAOS_FAIL_ENV] = f"unit-0001.a0@{scratch}/fail-marker"
+        start = time.perf_counter()
+        try:
+            chaotic = run_sharded(
+                make_chaos_spec(), shards=2,
+                launcher=WorkQueueLauncher(
+                    drainers=2, mode="subprocess", timeout=600,
+                    stale_after=CHAOS_STALE_AFTER, heartbeat=CHAOS_HEARTBEAT,
+                ),
+                shard_dir=os.path.join(scratch, "shards"),
+                max_retries=2,
+            )
+        finally:
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        chaotic_s = time.perf_counter() - start
+        kill_fired = os.path.exists(os.path.join(scratch, "kill-marker"))
+        fail_fired = os.path.exists(os.path.join(scratch, "fail-marker"))
+
+    ft = chaotic.stats["fault_tolerance"]
+    identical = winners(serial_report) == winners(chaotic.report)
+    text = "\n".join(
+        [
+            f"{'Chaos leg (2 drainers, 1 killed mid-run)':<46}"
+            f"{chaotic_s:>11.2f}s",
+            f"injected hard kill fired: {kill_fired}",
+            f"injected recorded failure fired: {fail_fired}",
+            f"driver retries: {ft['retries']} "
+            f"(task launches {ft['task_launches']} for {ft['tasks']} tasks)",
+            f"winning configs bit-identical to serial: {identical}",
+        ]
+    )
+    record_result("sharding_chaos", text)
+
+    assert kill_fired, "the drainer hard-kill never fired"
+    assert fail_fired, "the recorded-failure injection never fired"
+    assert ft["retries"] >= 1, "the failed unit was never re-posted"
+    assert identical, "chaotic run diverged from the serial report"

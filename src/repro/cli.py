@@ -30,6 +30,7 @@ from repro.alchemy import DataLoader, Model, Platforms
 from repro.core.export import export_report
 from repro.datasets import load_botnet, load_csv_dataset, load_iot
 from repro.distrib.launchers import LAUNCHERS
+from repro.distrib.scheduler import GRANULARITIES
 from repro.distrib.runspec import APP_LOADERS
 from repro.serving import DROP_POLICIES
 
@@ -109,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--starts", type=int, default=1,
         help="multi-start search: independent BO trajectories per "
              "algorithm family, best kept (sharded runs only)",
+    )
+    parser.add_argument(
+        "--granularity", default=None, choices=sorted(GRANULARITIES),
+        help="distribution grain: 'unit' posts one task per BO loop "
+             "(self-balancing, cheap retries; the default), 'shard' "
+             "pre-groups units into --shards tasks",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-post a failed task this many times (attempt-suffixed "
+             "names) before aborting; surviving results are always kept",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=60.0,
+        help="workqueue launcher: requeue a claim once its worker "
+             "heartbeat lags this many seconds (0 disables the reaper)",
     )
     return parser
 
@@ -410,9 +427,18 @@ def _sharded_main(args) -> int:
         batch_size=args.batch_size,
         cache_dir=args.cache_dir,
     )
-    launcher = make_launcher(args.launcher or "inprocess")
+    launcher_name = args.launcher or "inprocess"
+    launcher_kwargs: dict = {}
+    if launcher_name == "workqueue":
+        # The launcher derives a matching heartbeat, so any positive
+        # stale window works without tuning two knobs.
+        launcher_kwargs["stale_after"] = (
+            args.stale_after if args.stale_after > 0 else None
+        )
+    launcher = make_launcher(launcher_name, **launcher_kwargs)
     out = run_sharded(
-        spec, shards=args.shards, launcher=launcher, shard_dir=args.shard_dir
+        spec, shards=args.shards, launcher=launcher, shard_dir=args.shard_dir,
+        granularity=args.granularity or "unit", max_retries=args.max_retries,
     )
     print(out.summary())
     best = out.report.best
@@ -441,7 +467,11 @@ def main(argv: "list | None" = None) -> int:
     if args.shards < 1 or args.starts < 1:
         print("error: --shards and --starts must be >= 1", file=sys.stderr)
         return 2
-    if args.shards > 1 or args.starts > 1 or args.launcher or args.shard_dir:
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if (args.shards > 1 or args.starts > 1 or args.launcher or args.shard_dir
+            or args.granularity or args.max_retries > 0):
         return _sharded_main(args)
 
     if args.app:

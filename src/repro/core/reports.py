@@ -37,7 +37,21 @@ class ModelReport:
 
 @dataclass
 class CompileReport:
-    """Everything ``generate()`` produced for one platform."""
+    """Everything ``generate()`` produced for one platform.
+
+    Per-model search outcomes (winning algorithm, configuration,
+    objective, resource usage, generated sources) keyed by model name,
+    plus platform-level accounting: the combined resource footprint and
+    whether every model fit the target's constraints.
+
+    Example::
+
+        report = repro.generate(platform, budget=20, seed=0)
+        print(report.summary())          # one row per scheduled model
+        if report.feasible:
+            best = report.best           # single-model convenience
+            print(best.algorithm, best.best_config)
+    """
 
     target: str
     constraints: dict
@@ -55,6 +69,7 @@ class CompileReport:
         return None
 
     def model(self, name: str) -> ModelReport:
+        """The :class:`ModelReport` for one scheduled model by name."""
         return self.models[name]
 
     def summary(self) -> str:

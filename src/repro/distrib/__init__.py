@@ -8,33 +8,43 @@ from execution order.  This package exploits that:
 
 * :mod:`repro.distrib.runspec` — :class:`RunSpec`, the JSON wire format
   that lets any process rebuild the exact search,
-* :mod:`repro.distrib.scheduler` — work-unit enumeration and the
-  round-robin shard partition,
+* :mod:`repro.distrib.scheduler` — work-unit enumeration and task
+  planning (one task per unit by default, or a round-robin shard
+  partition),
 * :mod:`repro.distrib.worker` — shard execution (library call,
   ``--task`` subprocess, or ``--drain`` against a shared queue dir),
 * :mod:`repro.distrib.queuedir` — the file/directory work-queue protocol
   N machines drain against shared storage,
-* :mod:`repro.distrib.launchers` — in-process, subprocess-per-shard, and
-  work-queue launchers behind one interface,
+* :mod:`repro.distrib.launchers` — in-process, subprocess, and
+  work-queue launchers behind one interface; each reports per-task
+  outcomes (:class:`~repro.distrib.launchers.TaskFailure` instead of an
+  abort) and the work-queue launcher runs a
+  :class:`~repro.distrib.launchers.ReaperThread` that requeues claims
+  whose worker heartbeat stopped,
 * :mod:`repro.distrib.merge` — winner selection under the serial rule,
   cross-shard Pareto re-filtering, last-writer-wins cache-spill merging,
   and run-level statistics,
 * :mod:`repro.distrib.driver` — :func:`run_sharded`, the one-call
-  plan -> launch -> merge pipeline.
+  plan -> launch (with automatic retry) -> merge pipeline.
 
 The load-bearing property, tested at every layer: **sharding changes
 wall-clock, never results**.  A ``starts == 1`` distributed run merges
 to the bit-identical report of the serial :func:`repro.generate`, for
-any shard count and any launcher.  See ``docs/distrib.md``.
+any shard count, any launcher, any granularity — and any number of
+worker crashes the retry budget absorbs, because seeds derive from
+indices and never from attempts.  See ``docs/distrib.md``.
 """
 
 from repro.distrib.driver import run_sharded
 from repro.distrib.launchers import (
     LAUNCHERS,
     InProcessLauncher,
+    ReaperThread,
     SubprocessLauncher,
+    TaskFailure,
     WorkQueueLauncher,
     make_launcher,
+    task_name,
 )
 from repro.distrib.merge import (
     DistributedReport,
@@ -51,7 +61,14 @@ from repro.distrib.runspec import (
     load_dataset_npz,
     save_dataset_npz,
 )
-from repro.distrib.scheduler import ShardSpec, WorkUnit, plan_shards, plan_units
+from repro.distrib.scheduler import (
+    GRANULARITIES,
+    ShardSpec,
+    WorkUnit,
+    plan_shards,
+    plan_tasks,
+    plan_units,
+)
 from repro.distrib.worker import ShardResult, UnitResult, run_shard
 
 __all__ = [
@@ -62,8 +79,10 @@ __all__ = [
     "load_dataset_npz",
     "WorkUnit",
     "ShardSpec",
+    "GRANULARITIES",
     "plan_units",
     "plan_shards",
+    "plan_tasks",
     "run_shard",
     "UnitResult",
     "ShardResult",
@@ -71,6 +90,9 @@ __all__ = [
     "InProcessLauncher",
     "SubprocessLauncher",
     "WorkQueueLauncher",
+    "TaskFailure",
+    "ReaperThread",
+    "task_name",
     "LAUNCHERS",
     "make_launcher",
     "run_sharded",

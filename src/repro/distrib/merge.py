@@ -120,6 +120,7 @@ def aggregate_stats(shard_results: list) -> dict:
         per_shard.append(
             {
                 "shard": shard.index,
+                "attempt": shard.attempt,
                 "units": len(shard.units),
                 "elapsed_s": shard.elapsed_s,
                 "evaluations": sum(len(u.history) for u in shard.units),
@@ -170,10 +171,14 @@ def merge_results(
     """Merge shard outputs into a :class:`DistributedReport`.
 
     Validates coverage against a fresh :func:`~repro.distrib.scheduler.
-    plan_units` — every planned unit reported exactly once, nothing
-    unplanned — so a worker that silently dropped a family (or a stale
-    result from a different plan) fails loudly instead of quietly
-    changing the winner.  Then reduces multi-start trajectories
+    plan_units` — every planned unit accepted exactly once, nothing
+    unplanned, full-budget histories — so a worker that silently dropped
+    a family (or a stale result from a different plan, or a retry the
+    driver failed to deduplicate) fails loudly instead of quietly
+    changing the winner.  The check is attempt-blind on purpose: a run
+    completes iff each planned unit has exactly one accepted result, no
+    matter how many attempts it took.  Then reduces multi-start
+    trajectories
     family-by-family, picks winners under the serial rule, rebuilds the
     winning pipelines locally, and re-filters Pareto fronts across
     shards.  Cache spills merge separately via :func:`merge_spills`
@@ -186,7 +191,8 @@ def merge_results(
             key = (unit.model_index, unit.family_index, unit.start)
             if key in by_unit:
                 raise DistributionError(
-                    f"unit {key} reported by two shards — bad partition"
+                    f"unit {key} reported by two shards — bad partition "
+                    "or an unreconciled retry"
                 )
             by_unit[key] = unit
     for (model_index, family_index, start), unit in by_unit.items():

@@ -23,11 +23,21 @@ Workers keep no connection to the driver.  The driver polls
 ``results/`` (and ``failed/``) until every posted name is accounted
 for; a worker that dies *after* claiming leaves its task in
 ``claimed/``, where :meth:`WorkQueue.requeue_stale` can push it back.
+Liveness rides on the claim file's mtime: a healthy worker
+:meth:`~WorkQueue.touch`\\ es its claim periodically (the heartbeat),
+and a reaper requeues any claim whose mtime falls behind — see
+:class:`~repro.distrib.launchers.ReaperThread`.
+
+Task names are **attempt-namespaced** (``unit-0003.a0``,
+``unit-0003.a1``, …): every retry of a logical task posts under a fresh
+name, so a stale ``failed/<name>.json`` from an earlier attempt can
+never mask the retry's outcome and the driver's accounting stays
+one-name-one-verdict.
 
 Example::
 
     queue = WorkQueue("/mnt/shared/search-7")      # driver, machine A
-    queue.post("shard-0000", payload)
+    queue.post("unit-0000.a0", payload)
 
     # machines B..N, any number of them:
     #   python -m repro.distrib.worker --drain /mnt/shared/search-7
@@ -37,13 +47,26 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import time
 
 from repro.errors import DistributionError
 from repro.fsio import atomic_write_json
 
-__all__ = ["WorkQueue"]
+__all__ = ["WorkQueue", "worker_id"]
 
 _SUBDIRS = ("tasks", "claimed", "results", "failed")
+
+
+def worker_id() -> str:
+    """The host:pid identity workers stamp on failure records.
+
+    The driver's retry bookkeeping (``excluded`` per unit) uses it to
+    show *which* worker failed each attempt — diagnostics, not routing:
+    the queue has no targeted assignment, so a retry lands wherever
+    claim order takes it.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}"
 
 
 class WorkQueue:
@@ -62,12 +85,17 @@ class WorkQueue:
         return atomic_write_json(self._path(sub, name), payload)
 
     def _names(self, sub: str) -> list:
-        names = [
-            entry[: -len(".json")]
-            for entry in os.listdir(os.path.join(self.root, sub))
+        try:
+            entries = os.listdir(os.path.join(self.root, sub))
+        except FileNotFoundError:
+            # The queue directory was deleted out from under us — a
+            # lingering drainer outliving a finished run's scratch dir.
+            # An empty listing lets it idle out instead of crashing.
+            return []
+        return sorted(
+            entry[: -len(".json")] for entry in entries
             if entry.endswith(".json")
-        ]
-        return sorted(names)
+        )
 
     # -- driver side --------------------------------------------------------
     def post(self, name: str, payload: dict) -> str:
@@ -102,9 +130,14 @@ class WorkQueue:
     def requeue_stale(self, name: str) -> bool:
         """Push a claimed-but-unfinished task back to ``tasks/``.
 
-        For driver-side recovery after a worker death.  Returns whether
-        the task was actually moved (a racing completion loses nothing:
-        results are keyed by name and never deleted here).
+        For recovery after a worker death.  The move is a single
+        ``os.rename``, so of any number of racing reapers (two drivers
+        watching the same queue, say) exactly one wins; the losers get
+        ``False``.  A racing *completion* loses nothing either: results
+        are keyed by name and never deleted here, and a slow-but-alive
+        original worker completing alongside the requeued copy writes
+        the identical payload (evaluations are deterministic functions
+        of their configuration).
         """
         try:
             os.rename(self._path("claimed", name), self._path("tasks", name))
@@ -112,13 +145,53 @@ class WorkQueue:
         except FileNotFoundError:
             return False
 
+    def discard(self, name: str) -> bool:
+        """Drop a task from ``tasks/`` or ``claimed/`` without a verdict.
+
+        Driver-side cleanup when re-posting a newer attempt of the same
+        logical task: the superseded attempt's queue entry would
+        otherwise get claimed (or reaper-requeued) and burn a drainer on
+        work whose outcome nobody is waiting for.  Results and failures
+        are never touched.
+        """
+        for sub in ("tasks", "claimed"):
+            try:
+                os.unlink(self._path(sub, name))
+                return True
+            except FileNotFoundError:
+                continue
+        return False
+
+    def stale_claims(self, older_than: float) -> list:
+        """Claim names whose file mtime lags more than ``older_than`` s.
+
+        A healthy worker heartbeats its claim (:meth:`touch`), so a
+        stale mtime means the owner died between claim and complete —
+        the orphaned-task signal :class:`~repro.distrib.launchers.
+        ReaperThread` feeds to :meth:`requeue_stale`.  ``older_than``
+        must comfortably exceed the worker heartbeat interval.
+        """
+        now = time.time()
+        stale = []
+        for name in self._names("claimed"):
+            try:
+                mtime = os.path.getmtime(self._path("claimed", name))
+            except FileNotFoundError:
+                continue  # completed (or requeued) between listing and stat
+            if now - mtime > older_than:
+                stale.append(name)
+        return stale
+
     # -- worker side --------------------------------------------------------
     def claim(self) -> "tuple[str, dict] | None":
         """Atomically take ownership of one pending task.
 
         Returns ``(name, payload)`` or ``None`` when nothing is
         claimable.  Racing claimants are safe: ``os.rename`` succeeds
-        for exactly one of them.
+        for exactly one of them.  The claim file's mtime is reset to
+        *now* — rename preserves the source mtime, and a requeued task
+        would otherwise look stale to the reaper the instant it was
+        reclaimed, before the new owner's first heartbeat.
         """
         for name in self._names("tasks"):
             src = self._path("tasks", name)
@@ -128,11 +201,31 @@ class WorkQueue:
             except FileNotFoundError:
                 continue  # another worker won this one
             try:
+                os.utime(dst)
+            except OSError:
+                pass  # completed out from under us already; harmless
+            try:
                 with open(dst) as handle:
                     return name, json.load(handle)
             except (OSError, json.JSONDecodeError) as exc:
                 self.fail(name, f"unreadable task payload: {exc}")
         return None
+
+    def touch(self, name: str) -> bool:
+        """Heartbeat: refresh the claim file's mtime.
+
+        Workers call this periodically while running a task so the
+        reaper can tell a long-running claim from an orphaned one.
+        Returns ``False`` when the claim no longer exists (completed,
+        failed, or requeued out from under a worker that stalled past
+        the stale timeout — a signal, not an error: the worker should
+        still finish and :meth:`complete`, which is idempotent-safe).
+        """
+        try:
+            os.utime(self._path("claimed", name))
+            return True
+        except FileNotFoundError:
+            return False
 
     def complete(self, name: str, payload: dict) -> str:
         """Publish a result and release the claim."""
@@ -143,7 +236,11 @@ class WorkQueue:
         return path
 
     def fail(self, name: str, error: str) -> str:
-        """Record a crash; the claim moves to ``failed/`` with the error."""
+        """Record a crash; the claim moves to ``failed/`` with the error.
+
+        The record carries the failing :func:`worker_id` so the driver's
+        retry bookkeeping can name who to exclude.
+        """
         claimed = self._path("claimed", name)
         task: dict = {}
         try:
@@ -151,46 +248,99 @@ class WorkQueue:
                 task = json.load(handle)
         except (OSError, json.JSONDecodeError):
             pass
-        path = self._write_atomic("failed", name, {"error": error, "task": task})
+        path = self._write_atomic(
+            "failed", name,
+            {"error": error, "task": task, "worker": worker_id()},
+        )
         if os.path.exists(claimed):
             os.unlink(claimed)
         return path
 
     # -- bookkeeping --------------------------------------------------------
-    def wait_names(self, names: list, timeout: "float | None" = None,
-                   poll: float = 0.05, alive=None) -> dict:
-        """Block until every name has a result; raise on failures.
+    def wait_resolved(
+        self, names: list, timeout: "float | None" = None,
+        poll: float = 0.05, alive=None, fail_fast: bool = False,
+    ) -> "tuple[dict, dict]":
+        """Block until every name is *resolved*: a result or a failure.
 
-        ``alive`` is an optional zero-argument callable the wait invokes
-        each poll — returning ``False`` aborts with an error (used by
-        launchers to detect dead drainer processes).
+        Returns ``(results, failures)``, both keyed by task name.  This
+        is the fault-tolerant wait: a failure is an outcome to report,
+        not an exception to raise — the caller (the driver's retry loop)
+        decides whether to re-post the task under its next attempt name.
+        ``fail_fast=True`` returns as soon as any failure is observed
+        instead of waiting for the stragglers (the strict
+        :meth:`wait_names` semantics).
+
+        A name with *both* a result and a failure (a requeued task whose
+        slow original owner recorded a late failure while the requeued
+        copy completed) counts as a result: the work is done.
+
+        ``alive`` is an optional zero-argument callable invoked each
+        poll; returning ``False`` resolves every still-missing name as a
+        failure (used by launchers whose local drainers all exited).
+        Only a ``timeout`` raises — time running out says nothing
+        definitive about any single task.
         """
-        import time
-
         deadline = None if timeout is None else time.monotonic() + timeout
         results: dict = {}
+        failures: dict = {}
         while True:
             for name in names:
                 if name in results:
                     continue
-                failure = self.failure_for(name)
-                if failure is not None:
-                    raise DistributionError(
-                        f"work-queue task {name!r} failed: {failure.get('error')}"
-                    )
                 payload = self.result_for(name)
                 if payload is not None:
                     results[name] = payload
-            if len(results) == len(names):
-                return results
+                    failures.pop(name, None)
+                    continue
+                if name in failures:
+                    continue
+                failure = self.failure_for(name)
+                if failure is not None:
+                    failures[name] = failure
+            if len(results) + len(failures) == len(names):
+                return results, failures
+            if failures and fail_fast:
+                return results, failures
             if alive is not None and not alive():
-                missing = sorted(set(names) - set(results))
-                raise DistributionError(
-                    f"work-queue drainers exited with tasks unfinished: {missing}"
-                )
+                for name in names:
+                    if name not in results and name not in failures:
+                        failures[name] = {
+                            "error": "work-queue drainers exited before "
+                                     "finishing this task",
+                            "task": {},
+                        }
+                return results, failures
             if deadline is not None and time.monotonic() > deadline:
-                missing = sorted(set(names) - set(results))
+                missing = sorted(set(names) - set(results) - set(failures))
                 raise DistributionError(
                     f"timed out waiting for work-queue results: {missing}"
                 )
             time.sleep(poll)
+
+    def wait_names(self, names: list, timeout: "float | None" = None,
+                   poll: float = 0.05, alive=None) -> dict:
+        """Block until every name has a result; raise on failures.
+
+        The strict, retry-free wait — a fail-fast wrap of
+        :meth:`wait_resolved`: the first observed failure (or all
+        drainers exiting with work outstanding) raises
+        :class:`DistributionError`.  Retry-capable callers want
+        :meth:`wait_resolved` itself.
+        """
+        results, failures = self.wait_resolved(
+            names, timeout=timeout, poll=poll, alive=alive, fail_fast=True
+        )
+        for name in names:
+            failure = failures.get(name)
+            if failure is None:
+                continue
+            if "drainers exited" in str(failure.get("error", "")):
+                missing = sorted(set(names) - set(results))
+                raise DistributionError(
+                    f"work-queue drainers exited with tasks unfinished: {missing}"
+                )
+            raise DistributionError(
+                f"work-queue task {name!r} failed: {failure.get('error')}"
+            )
+        return results

@@ -33,11 +33,19 @@ from repro.distrib.runspec import RunSpec
 __all__ = [
     "WorkUnit",
     "ShardSpec",
+    "GRANULARITIES",
     "plan_units",
     "plan_shards",
+    "plan_tasks",
     "unit_family_seed",
     "unit_model_seed",
 ]
+
+#: How a run's unit list becomes launcher tasks.  ``"unit"`` (the
+#: default) posts one task per BO loop — self-balancing by claim/pool
+#: order, and a failure costs one loop; ``"shard"`` pre-groups units
+#: round-robin into exactly ``n_shards`` tasks (the PR-4 behaviour).
+GRANULARITIES = ("unit", "shard")
 
 #: Salt spacing between multi-start trajectories of one family.  Far
 #: larger than any family index so start streams can never collide with
@@ -98,17 +106,26 @@ class WorkUnit:
 
 @dataclass
 class ShardSpec:
-    """The slice of the unit list one worker executes."""
+    """The slice of the unit list one worker executes.
+
+    ``attempt`` is the retry generation: the driver re-posts a failed
+    task as a copy with ``attempt + 1``, and launchers namespace task
+    names by it (``unit-0003.a1``), so no attempt's queue entries can
+    mask another's.  Attempt never feeds any seed derivation — a retry
+    reproduces the original trajectory bit for bit.
+    """
 
     index: int
     n_shards: int
     units: list = field(default_factory=list)
+    attempt: int = 0
 
     def to_dict(self) -> dict:
         return {
             "index": self.index,
             "n_shards": self.n_shards,
             "units": [u.to_dict() for u in self.units],
+            "attempt": self.attempt,
         }
 
     @staticmethod
@@ -117,6 +134,7 @@ class ShardSpec:
             index=int(doc["index"]),
             n_shards=int(doc["n_shards"]),
             units=[WorkUnit.from_dict(u) for u in doc.get("units", [])],
+            attempt=int(doc.get("attempt", 0)),
         )
 
 
@@ -173,4 +191,35 @@ def plan_shards(units: list, n_shards: int) -> list:
     return [
         ShardSpec(index=i, n_shards=n_shards, units=list(units[i::n_shards]))
         for i in range(n_shards)
+    ]
+
+
+def plan_tasks(units: list, n_shards: int, granularity: str = "unit") -> list:
+    """Turn the unit list into launcher tasks at the chosen granularity.
+
+    ``"unit"`` (default) emits one single-unit :class:`ShardSpec` per
+    BO loop, indexed by unit position.  Any launcher becomes
+    self-balancing — a pool of ``n_shards`` workers pulls the next unit
+    the moment one finishes, so a heavy family (dnn) never long-poles a
+    worker stuck behind a pre-assigned group — and a retry re-runs one
+    loop, not a whole shard.  ``n_shards`` then bounds *concurrency*
+    (pool width, subprocess count, drainers), not the task count.
+
+    ``"shard"`` pre-groups units round-robin into exactly ``n_shards``
+    tasks via :func:`plan_shards` — fewer task files and one process
+    per shard, at the cost of coarse failure and static balance.
+    """
+    if granularity == "shard":
+        return plan_shards(units, n_shards)
+    if granularity != "unit":
+        raise SpecificationError(
+            f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+        )
+    if n_shards < 1:
+        raise SpecificationError(f"n_shards must be >= 1, got {n_shards}")
+    if not units:
+        raise SpecificationError("cannot schedule an empty unit list")
+    return [
+        ShardSpec(index=i, n_shards=len(units), units=[unit])
+        for i, unit in enumerate(units)
     ]

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -40,6 +42,89 @@ from repro.distrib.runspec import RunSpec
 from repro.distrib.scheduler import ShardSpec, unit_family_seed, unit_model_seed
 
 __all__ = ["UnitResult", "ShardResult", "run_shard", "main"]
+
+
+# --------------------------------------------------------------------------- #
+# crash injection (tests and the chaos benchmark only)
+# --------------------------------------------------------------------------- #
+#: Env vars carrying a ``<task-name>@<marker-path>`` chaos directive.
+#: When a worker is about to run the named task and the marker file does
+#: not exist yet, it creates the marker and crashes — hard exit for
+#: ``KILL`` (simulating SIGKILL between claim and complete: the claim
+#: stays orphaned), an exception for ``FAIL`` (a recorded ``failed/``
+#: entry).  Creating the marker first makes the crash fire exactly once,
+#: so the reaper's requeue or the driver's retry of the same logical
+#: task succeeds.  Marker creation is ``O_EXCL``: racing workers elect
+#: one victim.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL"
+CHAOS_FAIL_ENV = "REPRO_CHAOS_FAIL"
+
+
+def maybe_inject_chaos(name: "str | None", allow_kill: bool = False) -> None:
+    """Crash if a chaos directive targets task ``name`` (test-only hook).
+
+    ``allow_kill`` guards the hard-exit path: only dedicated worker
+    processes (``python -m repro.distrib.worker``) may honour a KILL
+    directive — in-process callers (thread drainers, the in-process
+    launcher, tests calling :func:`drain` directly) would take the
+    driver down with them, so for them KILL degrades to an exception.
+    """
+    for env, hard in ((CHAOS_KILL_ENV, True), (CHAOS_FAIL_ENV, False)):
+        directive = os.environ.get(env)
+        if not directive or name is None:
+            continue
+        target, _, marker = directive.partition("@")
+        # A target without an attempt suffix matches every attempt of
+        # the task (how tests model a permanently failing unit).
+        if name != target and name.rsplit(".a", 1)[0] != target:
+            continue
+        if marker:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+            except FileExistsError:
+                continue  # already fired once
+        if hard and allow_kill:
+            os._exit(137)
+        raise RuntimeError(f"chaos: injected {'kill' if hard else 'failure'} "
+                           f"for task {name!r}")
+
+
+class ClaimHeartbeat:
+    """Touch a work-queue claim every ``interval`` seconds while running.
+
+    Context manager wrapped around task execution so the claim file's
+    mtime proves the owner is alive; a claim whose heartbeat stops is
+    what :meth:`~repro.distrib.queuedir.WorkQueue.stale_claims` (and the
+    launcher's reaper) treats as orphaned.
+    """
+
+    def __init__(self, queue: WorkQueue, name: str, interval: float) -> None:
+        self.queue = queue
+        self.name = name
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def __enter__(self) -> "ClaimHeartbeat":
+        if self.interval > 0:
+            self._thread = threading.Thread(
+                target=self._beat, name=f"heartbeat-{self.name}", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.interval):
+            # A vanished claim means the reaper requeued us (we stalled
+            # past the stale timeout).  Keep running: complete() is safe
+            # to race — results are deterministic and keyed by name.
+            self.queue.touch(self.name)
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
 
 
 def evaluation_to_dict(evaluation: Evaluation) -> dict:
@@ -133,12 +218,17 @@ class UnitResult:
 
 @dataclass
 class ShardResult:
-    """One shard's complete output, JSON-serializable end to end."""
+    """One task's complete output, JSON-serializable end to end.
+
+    ``attempt`` echoes the task's retry generation (0 = first launch)
+    so the driver's bookkeeping can tell which attempt finally landed.
+    """
 
     index: int
     n_shards: int
     units: list = field(default_factory=list)  # [UnitResult]
     elapsed_s: float = 0.0
+    attempt: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -146,6 +236,7 @@ class ShardResult:
             "n_shards": self.n_shards,
             "units": [u.to_dict() for u in self.units],
             "elapsed_s": self.elapsed_s,
+            "attempt": self.attempt,
         }
 
     @staticmethod
@@ -155,6 +246,7 @@ class ShardResult:
             n_shards=int(doc["n_shards"]),
             units=[UnitResult.from_dict(u) for u in doc.get("units", [])],
             elapsed_s=float(doc.get("elapsed_s", 0.0)),
+            attempt=int(doc.get("attempt", 0)),
         )
 
 
@@ -232,33 +324,50 @@ def run_shard(
         n_shards=shard.n_shards,
         units=results,
         elapsed_s=time.perf_counter() - started,
+        attempt=shard.attempt,
     )
 
 
 # --------------------------------------------------------------------------- #
 # process entry points
 # --------------------------------------------------------------------------- #
-def run_task_payload(payload: dict) -> dict:
-    """Execute one ``{"run":..., "shard":..., "spill_dir":...}`` task."""
+def run_task_payload(payload: dict, allow_chaos_kill: bool = False) -> dict:
+    """Execute one ``{"run":..., "shard":..., "spill_dir":...}`` task.
+
+    The optional ``"name"`` key is the task's queue/file name; it only
+    feeds the crash-injection hook (:func:`maybe_inject_chaos`), never
+    the search itself.
+    """
+    maybe_inject_chaos(payload.get("name"), allow_kill=allow_chaos_kill)
     spec = RunSpec.from_dict(payload["run"])
     shard = ShardSpec.from_dict(payload["shard"])
     result = run_shard(spec, shard, spill_dir=payload.get("spill_dir"))
     return result.to_dict()
 
 
-def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0) -> int:
+def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0,
+          heartbeat: float = 2.0, allow_chaos_kill: bool = False,
+          stop=None) -> int:
     """Claim and run tasks from a queue directory until it goes quiet.
 
     With ``max_idle == 0`` the drain exits as soon as no task is
     claimable (the launcher posts everything before starting drainers);
     a positive ``max_idle`` keeps polling that many seconds for
-    stragglers, which is the long-lived multi-machine mode.  Returns how
-    many tasks this worker completed.
+    stragglers — the long-lived multi-machine mode, and what lets a
+    drainer outlive the stale-claim window so it can pick up tasks the
+    reaper requeues after a peer dies.  While a task runs, the claim
+    file is touched every ``heartbeat`` seconds (0 disables) so the
+    reaper can tell this worker is alive.  ``stop`` is an optional
+    zero-argument callable polled between tasks; returning ``True``
+    ends the drain (how in-process drainers shut down with their
+    launcher).  Returns how many tasks this worker completed.
     """
     queue = WorkQueue(queue_dir)
     done = 0
     idle_since: "float | None" = None
     while True:
+        if stop is not None and stop():
+            return done
         claim = queue.claim()
         if claim is None:
             now = time.monotonic()
@@ -272,7 +381,11 @@ def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0) -> int:
         idle_since = None
         name, payload = claim
         try:
-            queue.complete(name, run_task_payload(payload))
+            with ClaimHeartbeat(queue, name, heartbeat):
+                queue.complete(
+                    name,
+                    run_task_payload(payload, allow_chaos_kill=allow_chaos_kill),
+                )
             done += 1
         except Exception as exc:  # a bad shard must not kill the drain loop
             queue.fail(name, f"{type(exc).__name__}: {exc}")
@@ -295,6 +408,12 @@ def main(argv: "list | None" = None) -> int:
         help="keep draining this many idle seconds before exiting "
              "(0 = exit when the queue is empty)",
     )
+    parser.add_argument(
+        "--heartbeat", type=float, default=2.0,
+        help="touch the claim file this often while running a task "
+             "(0 = no heartbeat; stale-claim reaping then sees long "
+             "tasks as orphans)",
+    )
     args = parser.parse_args(argv)
     if args.task:
         if not args.out:
@@ -302,9 +421,10 @@ def main(argv: "list | None" = None) -> int:
             return 2
         with open(args.task) as handle:
             payload = json.load(handle)
-        atomic_write_json(args.out, run_task_payload(payload))
+        atomic_write_json(args.out, run_task_payload(payload, allow_chaos_kill=True))
         return 0
-    completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle)
+    completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle,
+                      heartbeat=args.heartbeat, allow_chaos_kill=True)
     print(f"drained {completed} task(s) from {args.drain}")
     return 0
 

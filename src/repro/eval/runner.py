@@ -18,6 +18,7 @@ import sys
 import time
 
 from repro.distrib.launchers import LAUNCHERS
+from repro.distrib.scheduler import GRANULARITIES
 from repro.eval import experiments as exp
 
 #: name -> (runner(**kwargs), formatter)
@@ -42,13 +43,16 @@ def run_experiment(
     shards: int = 1,
     launcher: "str | None" = None,
     shard_dir: "str | None" = None,
+    granularity: "str | None" = None,
+    max_retries: int = 0,
 ) -> str:
     """Run one experiment and return its formatted text.
 
     ``n_workers``/``batch_size`` — and the sharding knobs ``shards``/
-    ``launcher``/``shard_dir`` — are forwarded to experiments whose
-    runners accept them (the ones driving compiler searches); the search
-    results are identical to a serial run, only faster.
+    ``launcher``/``shard_dir``/``granularity``/``max_retries`` — are
+    forwarded to experiments whose runners accept them (the ones driving
+    compiler searches); the search results are identical to a serial
+    run, only faster (and, with retries, crash-tolerant).
     """
     runner, formatter = EXPERIMENTS[name]
     kwargs: dict = {"seed": seed}
@@ -62,6 +66,8 @@ def run_experiment(
         kwargs["shards"] = shards
         kwargs["launcher"] = launcher
         kwargs["shard_dir"] = shard_dir
+        kwargs["granularity"] = granularity
+        kwargs["max_retries"] = max_retries
     result = runner(**kwargs)
     return formatter(result)
 
@@ -104,6 +110,15 @@ def main(argv: "list | None" = None) -> int:
         "--shard-dir", default=None,
         help="scratch directory for shard task/result/spill files",
     )
+    parser.add_argument(
+        "--granularity", default=None, choices=sorted(GRANULARITIES),
+        help="distribution grain for sharded experiments "
+             "(default: unit — one task per BO loop)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-post failed shard tasks this many times before aborting",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
@@ -113,6 +128,9 @@ def main(argv: "list | None" = None) -> int:
         return 2
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -129,6 +147,8 @@ def main(argv: "list | None" = None) -> int:
             shards=args.shards,
             launcher=args.launcher,
             shard_dir=args.shard_dir,
+            granularity=args.granularity,
+            max_retries=args.max_retries,
         )
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) ===\n{text}")

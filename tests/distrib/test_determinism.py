@@ -3,7 +3,10 @@
 Same seeds, shards ∈ {1, 2, 4}, all three launchers — every combination
 must produce identical winners, identical merged Pareto fronts, and
 identical merged cache contents; and the ``starts == 1`` runs must be
-bit-identical to the serial ``repro.generate``."""
+bit-identical to the serial ``repro.generate``.  The chaos matrix at the
+bottom extends the claim through the fault-tolerance layer: injected
+worker crashes absorbed by ``max_retries`` change nothing either,
+because seeds derive from indices and never from attempts."""
 
 import pytest
 
@@ -17,6 +20,7 @@ from repro.distrib import (
     WorkQueueLauncher,
     run_sharded,
 )
+from repro.distrib.worker import CHAOS_FAIL_ENV, CHAOS_KILL_ENV
 
 #: Two cheap families (no NN training) so the matrix stays fast.
 def make_spec(starts=1, cache_dir=None):
@@ -154,3 +158,54 @@ def test_multistart_is_shard_count_invariant(shards, tmp_path):
 def test_multistart_never_loses_to_serial(serial_report):
     out = run_sharded(make_spec(starts=3), shards=3)
     assert out.report.best.objective >= serial_report.best.objective
+
+
+def test_shard_granularity_matches_unit_granularity(reference, tmp_path):
+    ref_fp, ref_cache = reference
+    spec = make_spec(cache_dir=str(tmp_path / "cache"))
+    out = run_sharded(spec, shards=2, granularity="shard")
+    assert fingerprint(out) == ref_fp
+    assert cache_contents(out) == ref_cache
+
+
+# --------------------------------------------------------------------------- #
+# the chaos matrix: crashes absorbed by retries change nothing
+# --------------------------------------------------------------------------- #
+def chaos_launchers():
+    # (id, launcher factory, chaos env var).  The in-process and
+    # thread-drainer cases must use FAIL (a hard kill would take the
+    # test process down); the subprocess launcher takes a real hard
+    # kill — os._exit between claim and complete.
+    return [
+        ("inprocess-fail", lambda: InProcessLauncher(), CHAOS_FAIL_ENV),
+        ("subprocess-kill", lambda: SubprocessLauncher(timeout=300),
+         CHAOS_KILL_ENV),
+        ("workqueue-fail", lambda: WorkQueueLauncher(drainers=2, mode="thread",
+                                                     timeout=300,
+                                                     stale_after=None),
+         CHAOS_FAIL_ENV),
+    ]
+
+
+@pytest.mark.parametrize(
+    "chaos_id,factory,chaos_env", chaos_launchers(),
+    ids=[i for i, _, _ in chaos_launchers()],
+)
+def test_injected_crashes_with_retries_are_invisible(
+    chaos_id, factory, chaos_env, reference, tmp_path, monkeypatch
+):
+    """Unit granularity, one injected crash, max_retries=2: fronts,
+    histories, and cache contents must match the crash-free reference
+    (itself pinned to the serial ``generate``)."""
+    ref_fp, ref_cache = reference
+    marker = tmp_path / "chaos-marker"
+    monkeypatch.setenv(chaos_env, f"unit-0001.a0@{marker}")
+    spec = make_spec(cache_dir=str(tmp_path / "cache"))
+    out = run_sharded(
+        spec, shards=2, launcher=factory(),
+        shard_dir=str(tmp_path / "shards"), max_retries=2,
+    )
+    assert marker.exists(), "the injected crash never fired"
+    assert out.stats["fault_tolerance"]["retries"] >= 1
+    assert fingerprint(out) == ref_fp
+    assert cache_contents(out) == ref_cache

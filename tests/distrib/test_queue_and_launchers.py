@@ -16,6 +16,7 @@ from repro.distrib import (
     ModelEntry,
     RunSpec,
     SubprocessLauncher,
+    TaskFailure,
     WorkQueue,
     WorkQueueLauncher,
     make_launcher,
@@ -198,16 +199,22 @@ class TestLaunchers:
         with pytest.raises(DistributionError):
             SubprocessLauncher().launch(spec, shards, None)
 
-    def test_subprocess_launcher_surfaces_worker_crashes(self, tmp_path):
+    def test_subprocess_launcher_reports_worker_crash_as_failure(self, tmp_path):
         # An npz ref pointing nowhere: the worker exits non-zero and the
-        # launcher must raise with that shard's stderr, not hang.
+        # launcher must hand back a TaskFailure outcome (with the
+        # worker's stderr) instead of raising away surviving results.
         spec = tiny_spec()
         good_shards = plan_shards(plan_units(spec), 1)
         spec.models[0].dataset = DatasetRef.for_npz(str(tmp_path / "gone.npz"))
-        with pytest.raises(DistributionError, match="shard 0"):
-            SubprocessLauncher(timeout=120).launch(
-                spec, good_shards, str(tmp_path)
-            )
+        outcomes = SubprocessLauncher(timeout=120).launch(
+            spec, good_shards, str(tmp_path)
+        )
+        assert len(outcomes) == 1
+        failure = outcomes[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 0
+        assert failure.attempt == 0
+        assert "gone.npz" in failure.error
 
     def test_workqueue_launcher_requires_shard_dir(self):
         spec = tiny_spec()
@@ -230,11 +237,15 @@ class TestLaunchers:
         assert len(results) == 1
         assert len(results[0].units[0].history) == spec.budget
 
-    def test_workqueue_launcher_surfaces_shard_failure(self, tmp_path):
+    def test_workqueue_launcher_reports_shard_failure_as_outcome(self, tmp_path):
         spec = tiny_spec()
         shards = plan_shards(plan_units(spec), 1)
         spec.models[0].dataset = DatasetRef.for_npz(str(tmp_path / "gone.npz"))
-        with pytest.raises(DistributionError):
-            WorkQueueLauncher(drainers=1, mode="thread", timeout=60).launch(
-                spec, shards, str(tmp_path)
-            )
+        outcomes = WorkQueueLauncher(
+            drainers=1, mode="thread", timeout=60, stale_after=None,
+        ).launch(spec, shards, str(tmp_path))
+        assert len(outcomes) == 1
+        failure = outcomes[0]
+        assert isinstance(failure, TaskFailure)
+        assert "gone.npz" in failure.error
+        assert failure.worker  # queue failures carry the worker identity

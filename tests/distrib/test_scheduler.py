@@ -12,6 +12,7 @@ from repro.distrib import (
     ShardSpec,
     WorkUnit,
     plan_shards,
+    plan_tasks,
     plan_units,
 )
 from repro.distrib.scheduler import unit_family_seed, unit_model_seed
@@ -128,6 +129,54 @@ class TestPlanShards:
         again = ShardSpec.from_dict(shard.to_dict())
         assert again.index == shard.index
         assert again.units == shard.units
+
+
+class TestPlanTasks:
+    def units(self, n):
+        return [
+            WorkUnit(model_index=0, model_name="m", family_index=i,
+                     algorithm=f"f{i}", start=0)
+            for i in range(n)
+        ]
+
+    def test_unit_granularity_posts_one_task_per_unit(self):
+        tasks = plan_tasks(self.units(5), 2)
+        assert len(tasks) == 5
+        assert [t.index for t in tasks] == list(range(5))
+        assert all(len(t.units) == 1 for t in tasks)
+        assert all(t.attempt == 0 for t in tasks)
+        # Unit order is preserved: task i carries unit i.
+        assert [t.units[0].family_index for t in tasks] == list(range(5))
+
+    def test_unit_granularity_ignores_shard_count_for_task_count(self):
+        # shards bounds concurrency, not the task list.
+        assert len(plan_tasks(self.units(6), 2)) == 6
+        assert len(plan_tasks(self.units(6), 100)) == 6
+
+    def test_shard_granularity_delegates_to_plan_shards(self):
+        tasks = plan_tasks(self.units(5), 2, granularity="shard")
+        assert [t.to_dict() for t in tasks] == [
+            s.to_dict() for s in plan_shards(self.units(5), 2)
+        ]
+
+    def test_errors(self):
+        with pytest.raises(SpecificationError):
+            plan_tasks(self.units(2), 2, granularity="molecule")
+        with pytest.raises(SpecificationError):
+            plan_tasks(self.units(2), 0)
+        with pytest.raises(SpecificationError):
+            plan_tasks([], 2)
+
+    def test_attempt_survives_json_roundtrip(self):
+        task = plan_tasks(self.units(2), 1)[1]
+        task.attempt = 3
+        again = ShardSpec.from_dict(task.to_dict())
+        assert again.attempt == 3
+        assert again.units == task.units
+        # Old wire payloads without the field default to attempt 0.
+        doc = task.to_dict()
+        del doc["attempt"]
+        assert ShardSpec.from_dict(doc).attempt == 0
 
 
 def test_work_unit_roundtrip():

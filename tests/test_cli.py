@@ -221,6 +221,38 @@ class TestShardedCli:
         assert main(["--app", "tc", "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err
 
+    def test_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--app", "ad", "--granularity", "shard", "--max-retries", "2",
+             "--stale-after", "15"]
+        )
+        assert args.granularity == "shard"
+        assert args.max_retries == 2
+        assert args.stale_after == 15.0
+        defaults = build_parser().parse_args(["--app", "ad"])
+        assert defaults.granularity is None
+        assert defaults.max_retries == 0
+
+    def test_invalid_max_retries_exit_code(self, capsys):
+        assert main(["--app", "tc", "--max-retries", "-1"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_cli_retry_recovers_from_injected_crash(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # --max-retries wires through to the driver: a unit that fails
+        # once must not abort the CLI run.
+        monkeypatch.setenv(
+            "REPRO_CHAOS_FAIL", f"unit-0000.a0@{tmp_path}/marker"
+        )
+        code = main(
+            ["--app", "tc", "--target", "tofino",
+             "--algorithm", "decision_tree", "--budget", "2", "--seed", "0",
+             "--max-retries", "1"]
+        )
+        assert code == 0
+        assert "config:" in capsys.readouterr().out
+
     def test_sharded_run_reproduces_serial_report(self, capsys):
         argv = ["--app", "tc", "--target", "tofino",
                 "--algorithm", "decision_tree", "--algorithm", "svm",
@@ -265,9 +297,11 @@ class TestRunnerShardFlags:
         captured = {}
 
         def fake_table2(seed=0, quick=True, n_workers=1, batch_size=None,
-                        shards=1, launcher=None, shard_dir=None):
+                        shards=1, launcher=None, shard_dir=None,
+                        granularity=None, max_retries=0):
             captured.update(shards=shards, launcher=launcher,
-                            shard_dir=shard_dir)
+                            shard_dir=shard_dir, granularity=granularity,
+                            max_retries=max_retries)
             return []
 
         monkeypatch.setitem(
@@ -276,11 +310,14 @@ class TestRunnerShardFlags:
         text = runner.run_experiment(
             "table2", seed=3, quick=True, shards=4,
             launcher="subprocess", shard_dir="/tmp/q",
+            granularity="shard", max_retries=2,
         )
         assert text == "ok"
         assert captured["shards"] == 4
         assert captured["launcher"] == "subprocess"
         assert captured["shard_dir"] == "/tmp/q"
+        assert captured["granularity"] == "shard"
+        assert captured["max_retries"] == 2
 
     def test_run_experiment_skips_shards_for_non_compiler_experiments(
         self, monkeypatch
