@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Fleet control plane under live traffic: gated rollout + auto-rollback.
+
+One fleet, four legs, all through the real HTTP control plane
+(:class:`ControlServer` on localhost, driven by :class:`ControlClient`)
+while every worker keeps serving a looping botnet replay:
+
+1. **gated rolling deploy** — upgrade the whole fleet from v0 to v1
+   mid-traffic, one worker at a time, each gated on its own pre- vs
+   post-swap telemetry window.  Every worker must upgrade; nothing may
+   drop.
+2. **conflict** — a second deploy issued while a rollout is in flight
+   must be rejected with HTTP 409, and must not disturb the rollout.
+3. **regression auto-rollback** — deploy a deliberately slow candidate
+   (a :class:`TimedPipeline` adding a fat per-batch device delay).  The
+   first worker's post-swap p99 blows the gate, the controller rolls
+   *that worker* back automatically and aborts the rollout: the rest of
+   the fleet never sees the bad pipeline.  This is asserted — the
+   report must say ``regressed``, the worker must be back on v1, and
+   the remaining workers must be untouched.
+4. **instant rollback** — ``POST /rollback`` reverts a healthy worker
+   to its previous pipeline with zero drops.
+
+Throughout: block-mode ingress, so the zero-drop gate is meaningful —
+``enqueued == packets + dropped`` must hold on every worker once the
+stream drains, and total drops must be exactly 0.
+
+Run:  PYTHONPATH=src python benchmarks/bench_control.py [--smoke]
+
+``--smoke`` shrinks the fleet and the trace; every correctness gate
+(upgrade, 409, asserted auto-rollback, conservation) holds in both
+modes, so CI runs it as a blocking job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import os
+import sys
+
+from repro.backends.taurus import TaurusBackend
+from repro.control import (
+    ControlClient,
+    ControlServer,
+    DeployConflict,
+    FleetController,
+    FleetWorker,
+    RegressionGate,
+)
+from repro.datasets import load_botnet
+from repro.datasets.botnet import flow_label, generate_botnet_flows
+from repro.eval.baselines import train_baseline_dnn
+from repro.runtime import FlowmarkerTracker
+from repro.serving import AsyncStreamEngine, TimedPipeline
+
+BATCH_SIZE = 32
+MAX_LATENCY_US = 5000.0
+#: Offered load per worker (packets/s) — comfortably under capacity so
+#: the pre-swap baseline is healthy queueing, not saturation.
+RATE_PPS = 2000.0
+#: Per-batch device delay of the deliberately bad candidate; at ~60
+#: batches/s offered this is far beyond capacity, so post-swap latency
+#: explodes past any sane gate.
+SLOW_PER_BATCH_S = 0.25
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def train_pipeline(name: str, n_train_flows: int, seed: int):
+    dataset = load_botnet(n_train_flows=n_train_flows, n_test_flows=2,
+                          seed=seed, per_packet_test=False)
+    net, scaler = train_baseline_dnn("bd", dataset, seed=seed)
+    return TaurusBackend().compile_model(net, scaler=scaler, name=name)
+
+
+def build_trace(n_flows: int, seed: int):
+    flows = generate_botnet_flows(n_flows, seed=seed)
+    tagged = sorted(
+        ((p.timestamp, p, flow_label(f)) for f in flows for p in f),
+        key=lambda item: item[0],
+    )
+    packets = [item[1] for item in tagged]
+    labels = [item[2] for item in tagged]
+    return packets, labels
+
+
+async def looping_traffic(packets, labels, stop: asyncio.Event):
+    """Replay the trace in a loop at ~RATE_PPS, timestamps kept monotonic."""
+    span = (packets[-1].timestamp - packets[0].timestamp + 1.0
+            if len(packets) > 1 else 1.0)
+    chunk = max(1, int(RATE_PPS // 100))
+    pause = chunk / RATE_PPS
+    lap = 0
+    while not stop.is_set():
+        shift = lap * span
+        sent = 0
+        for packet, label in zip(packets, labels):
+            if stop.is_set():
+                return
+            if shift:
+                packet = dataclasses.replace(
+                    packet, timestamp=packet.timestamp + shift)
+            yield (packet, label)
+            sent += 1
+            if sent % chunk == 0:
+                await asyncio.sleep(pause)
+        lap += 1
+
+
+async def run_bench(args, lines: list, failures: list) -> None:
+    n_workers = 2 if args.smoke else 3
+    n_train = 60 if args.smoke else 150
+    n_flows = 50 if args.smoke else 120
+
+    v0 = train_pipeline("bd-v0", n_train, seed=13)
+    v1 = train_pipeline("bd-v1", n_train, seed=29)
+    v_slow = TimedPipeline(v1, per_batch_s=SLOW_PER_BATCH_S)
+    packets, labels = build_trace(n_flows, seed=99)
+
+    stop = asyncio.Event()
+    workers = []
+    for index in range(n_workers):
+        engine = AsyncStreamEngine(
+            v0, FlowmarkerTracker(max_conversations=4096),
+            batch_size=BATCH_SIZE, max_latency=MAX_LATENCY_US * 1e-6,
+            queue_depth=1024, drop_policy="block",
+        )
+        workers.append(FleetWorker(f"w{index}", engine, version="v0"))
+    gate = RegressionGate(latency_factor=2.5, latency_floor_s=0.05,
+                          min_batches=4, settle_s=10.0)
+    controller = FleetController(workers, gate=gate)
+    controller.register_pipeline("v1", v1)
+    controller.register_pipeline("v-slow", v_slow)
+
+    for worker in workers:
+        worker.attach(asyncio.create_task(
+            worker.engine.run(looping_traffic(packets, labels, stop)),
+            name=f"bench-{worker.name}",
+        ))
+    server = ControlServer(controller)
+    port = await server.start()
+    client = ControlClient(port=port)
+    lines.append(f"fleet: {n_workers} workers x bd, {len(packets)} packets "
+                 f"per lap at {RATE_PPS:.0f} pkt/s, controller on :{port}")
+
+    try:
+        await asyncio.sleep(1.5)  # build the pre-swap telemetry window
+
+        # Leg 1: gated rolling deploy v0 -> v1 under live traffic.
+        report = await client.deploy("v1")
+        lines.append(
+            f"deploy v1: ok={report['ok']} upgraded={report['upgraded']}")
+        if not report["ok"] or report["upgraded"] != [w.name for w in workers]:
+            failures.append(f"rolling deploy did not upgrade the fleet: "
+                            f"{report['reason']}")
+        for worker in workers:
+            if worker.engine.pipeline is not v1:
+                failures.append(f"{worker.name} is not serving v1 after deploy")
+
+        # Legs 2+3: a bad candidate mid-traffic, with a competing deploy.
+        # The slow rollout holds the controller for >= min_batches slow
+        # batches, so the concurrent deploy must observe the conflict.
+        slow_task = asyncio.create_task(client.deploy("v-slow"))
+        await asyncio.sleep(0.3)
+        got_conflict = False
+        try:
+            await client.deploy("v1")
+        except DeployConflict as exc:
+            got_conflict = True
+            lines.append(f"concurrent deploy: 409 ({exc})")
+        if not got_conflict:
+            failures.append("concurrent deploy was not rejected with 409")
+
+        report = await slow_task
+        first = workers[0]
+        outcome = report["workers"].get(first.name, {})
+        verdict = outcome.get("verdict") or {}
+        lines.append(
+            f"deploy v-slow: ok={report['ok']} aborted_at="
+            f"{report['aborted_at']} reason={report['reason']}")
+        if report["ok"]:
+            failures.append("slow deploy was not aborted")
+        if report["rolled_back"] != [first.name]:
+            failures.append(
+                f"expected exactly {first.name} rolled back, got "
+                f"{report['rolled_back']}")
+        if not verdict.get("regressed"):
+            failures.append("auto-rollback was not regression-triggered "
+                            f"(verdict: {verdict})")
+        else:
+            pre = verdict["pre"]["latency_p99_s"] * 1e3
+            post = verdict["post"]["latency_p99_s"] * 1e3
+            lines.append(f"  gate: pre p99 {pre:.1f} ms -> post p99 "
+                         f"{post:.1f} ms triggered rollback")
+        if first.engine.pipeline is not v1 or first.version != "v1":
+            failures.append("regressed worker was not rolled back to v1")
+        for worker in workers[1:]:
+            if worker.engine.pipeline is not v1:
+                failures.append(
+                    f"{worker.name} was touched by the aborted rollout")
+
+        # Leg 4: instant rollback of the last healthy worker (its last
+        # swap was v0 -> v1, so the revert lands on v0).
+        last = workers[-1]
+        rollback = await client.rollback(workers=[last.name])
+        lines.append(f"rollback {last.name}: {rollback}")
+        if rollback["reverted"] != [last.name] or last.engine.pipeline is not v0:
+            failures.append("instant rollback did not restore v0")
+
+        fleet = await client.fleet()
+        totals = fleet["totals"]
+        lines.append(f"fleet totals mid-run: {totals}")
+        if totals["dropped"] != 0:
+            failures.append(f"fleet dropped {totals['dropped']} packets")
+    finally:
+        stop.set()
+        await asyncio.gather(*(w.task for w in workers))
+        await server.stop()
+
+    lines.append("")
+    for worker in workers:
+        stats = worker.engine.stats
+        summary = stats.summary()
+        lines.append(
+            f"[{worker.name}] {summary['packets']} packets, "
+            f"{summary['swaps']} swaps, {summary['dropped']} dropped, "
+            f"p99 {summary['latency_p99_us'] / 1e3:.1f} ms "
+            f"(final version {worker.version})")
+        if stats.enqueued != stats.packets + stats.dropped:
+            failures.append(
+                f"{worker.name}: counters not conserved "
+                f"({stats.enqueued} != {stats.packets} + {stats.dropped})")
+        if stats.dropped != 0:
+            failures.append(f"{worker.name}: dropped {stats.dropped}")
+        if stats.packets == 0:
+            failures.append(f"{worker.name}: served no traffic")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet and trace (same correctness gates)")
+    args = parser.parse_args(argv)
+
+    lines = [
+        "Control-plane benchmark — fleet rollout under live traffic",
+        "-" * 74,
+    ]
+    failures: list = []
+    asyncio.run(run_bench(args, lines, failures))
+
+    verdict = "PASS" if not failures else "FAIL: " + "; ".join(failures)
+    lines += ["", verdict]
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "control.txt")
+    with open(out_path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"(written to {out_path})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,17 @@ stand-in outcomes:
 Speculative evaluations that never get used stay in the cache — a later
 round (or a later search sharing the cache) may still claim them.
 
+When the replay *diverges* (the real ``suggest`` asks for a config the
+plan did not prefetch), the original engine paid for the true config
+inline on an idle pool and threw the rest of the round away.  With
+``respeculate`` (the default) the divergence instead refills the pool:
+the true config is submitted together with a fresh believer batch
+planned by a new fork over the history-to-be (true history plus a
+surrogate stand-in for the in-flight config).  Those entries land in
+the cache where the next planning round's replay can hit them, which
+roughly doubles the speculative hit rate — without touching the live
+optimizer's RNG, so the trajectory stays bit-identical.
+
 Worker seeding
 --------------
 Workers get derived RNG seeds: thread workers share the parent process
@@ -89,9 +100,11 @@ class ParallelEvaluator:
 
     ``stats`` after a run holds ``rounds`` (planning rounds), ``evaluated``
     (real black-box calls), ``speculative_hits`` (prefetched suggestions
-    the serial replay actually used), ``replans`` (speculation divergences)
-    and ``speculative_failures`` (discarded speculative errors) — the
-    shard scheduler in :mod:`repro.distrib` aggregates these per run.
+    the serial replay actually used), ``replans`` (speculation
+    divergences), ``respeculations`` (divergences that refilled the pool
+    with a fresh believer batch) and ``speculative_failures`` (discarded
+    speculative errors) — the shard scheduler in :mod:`repro.distrib`
+    aggregates these per run.
 
     Parameters
     ----------
@@ -111,6 +124,12 @@ class ParallelEvaluator:
         ``"thread"`` (default; right for numpy-heavy or I/O-bound
         objectives) or ``"process"`` (for pure-Python CPU-bound
         objectives; requires a picklable objective).
+    respeculate:
+        when the replay diverges from the plan, submit the true config
+        to the pool alongside a freshly planned believer batch instead
+        of evaluating it inline (default ``True``; ``False`` restores
+        the discard-the-round behaviour).  Never changes the history —
+        only how often prefetches hit.
     warmup / candidate_pool / xi / dedupe / seed:
         forwarded to the underlying :class:`BayesianOptimizer`.
     """
@@ -128,6 +147,7 @@ class ParallelEvaluator:
         seed: "int | np.random.Generator | None" = None,
         cache: "EvaluationCache | None" = None,
         executor: str = "thread",
+        respeculate: bool = True,
     ) -> None:
         if n_workers < 1:
             raise DesignSpaceError(f"n_workers must be >= 1, got {n_workers}")
@@ -140,6 +160,7 @@ class ParallelEvaluator:
         self.objective_fn = objective_fn
         self.cache = cache if cache is not None else EvaluationCache()
         self.executor = executor
+        self.respeculate = bool(respeculate)
         self._seed_root = _worker_seed_root(seed)
         self.optimizer = BayesianOptimizer(
             space,
@@ -207,6 +228,7 @@ class ParallelEvaluator:
             "evaluated": 0,
             "speculative_hits": 0,
             "replans": 0,
+            "respeculations": 0,
             "speculative_failures": 0,
         }
         with self._make_pool() as pool:
@@ -222,6 +244,10 @@ class ParallelEvaluator:
                 suggestions = planner.iter_suggestions(result, want, set(seen))
                 first = next(suggestions)
                 state_after_first = planner.snapshot()
+                # Already cached => an earlier round's speculation (or a
+                # shared spill) prefetched the exact next serial suggestion.
+                if first in self.cache:
+                    self.stats["speculative_hits"] += 1
                 planned = [first]
                 submitted: set = set()
                 pending: list = []
@@ -247,14 +273,55 @@ class ParallelEvaluator:
                             self.stats["speculative_hits"] += 1
                         self._append(result, seen, config, evaluation)
                         continue
-                    # Diverged: evaluate the true suggestion, then re-plan.
-                    evaluation = coerce_evaluation(config, self.objective_fn(config))
-                    self.stats["evaluated"] += 1
-                    self.cache.put(config, evaluation)
-                    self._append(result, seen, config, evaluation)
+                    # Diverged: evaluate the true suggestion, then re-plan
+                    # from the longer history.
                     self.stats["replans"] += 1
+                    if self.respeculate:
+                        self._respeculate(
+                            pool, opt, result, seen, config,
+                            min(self.batch_size - 1, budget - len(result) - 1),
+                        )
+                        evaluation = self.cache.get(config)
+                    else:
+                        evaluation = coerce_evaluation(
+                            config, self.objective_fn(config)
+                        )
+                        self.stats["evaluated"] += 1
+                        self.cache.put(config, evaluation)
+                    self._append(result, seen, config, evaluation)
                     break
         return result
+
+    def _respeculate(
+        self, pool, opt, result, seen: set, config: dict, n_spec: int
+    ) -> None:
+        """Refill the pool at a divergence instead of paying for it idle.
+
+        The serial replay must evaluate ``config`` next; rather than
+        running it inline while the workers sit empty, submit it to the
+        pool together with a fresh believer batch planned over the
+        history-to-be — the true history plus a surrogate stand-in for
+        the in-flight ``config``.  Planning happens on a fork of the
+        live optimizer (the fork's RNG starts exactly where the next
+        round's planner will), so the live random streams — and with
+        them bit-identity to the serial loop — are untouched.  The
+        speculative results land in the cache, where the next round's
+        replay picks them up; only ``config`` itself may propagate an
+        evaluation error, exactly as the serial loop would.
+        """
+        submitted: set = set()
+        pending: list = []
+        self._submit(pool, config, submitted, pending)
+        if n_spec > 0:
+            replanner = opt.fork()
+            virtual = OptimizationResult(history=list(result.history))
+            virtual.append(replanner._stand_in(config, virtual.best_objective))
+            spec_seen = set(seen)
+            spec_seen.add(self.space.key(config))
+            for spec in replanner.iter_suggestions(virtual, n_spec, spec_seen):
+                self._submit(pool, spec, submitted, pending)
+            self.stats["respeculations"] += 1
+        self._collect(pending, config_key(config))
 
     def _append(self, result: OptimizationResult, seen: set, config: dict, evaluation) -> None:
         result.append(evaluation)

@@ -17,7 +17,17 @@ packet stream through the async serving runtime::
         --batch-size 256 --max-latency-us 2000 --queue-depth 1024 \\
         --drop-policy head-drop --priorities bd=4,ad=1 --swap-after 2000
 
-See ``docs/serving.md`` for what each knob does.
+The ``control`` subcommand runs the fleet control plane: ``control
+serve`` stands up N serving workers plus the HTTP controller, and the
+client verbs drive it::
+
+    python -m repro.cli control serve --workers 2 --port 8300
+    python -m repro.cli control fleet --port 8300
+    python -m repro.cli control deploy --port 8300 --version v1
+    python -m repro.cli control rollback --port 8300
+    python -m repro.cli control split --port 8300 --weights w0=4,w1=1
+
+See ``docs/serving.md`` and ``docs/control.md`` for what each knob does.
 """
 
 from __future__ import annotations
@@ -394,6 +404,247 @@ def serve_main(argv: "list | None" = None) -> int:
     return 0
 
 
+def build_control_parser(action: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"repro.cli control {action}",
+        description="Fleet control plane (see docs/control.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8300)
+    if action == "serve":
+        parser.add_argument("--workers", type=int, default=2,
+                            help="serving workers under the controller")
+        parser.add_argument(
+            "--app", default="bd", choices=sorted(_APPS),
+            help="application every worker serves",
+        )
+        parser.add_argument("--flows", type=int, default=120,
+                            help="flows in the looping replay trace")
+        parser.add_argument("--rate", type=float, default=4000.0,
+                            help="offered load per worker (packets/s)")
+        parser.add_argument("--batch-size", type=int, default=64)
+        parser.add_argument(
+            "--max-latency-us", type=float, default=5000.0,
+            help="micro-batch deadline in microseconds",
+        )
+        parser.add_argument("--queue-depth", type=int, default=1024)
+        parser.add_argument("--drop-policy", default="block",
+                            choices=sorted(DROP_POLICIES))
+        parser.add_argument(
+            "--duration", type=float, default=0.0,
+            help="stop after this many seconds (0 = until Ctrl-C)",
+        )
+        parser.add_argument("--seed", type=int, default=0)
+    elif action == "deploy":
+        parser.add_argument("--version", required=True,
+                            help="registered pipeline version to roll out")
+        parser.add_argument("--latency-factor", type=float, default=None,
+                            help="gate override: allowed p99 growth factor")
+        parser.add_argument("--settle-s", type=float, default=None,
+                            help="gate override: post-swap settle window")
+        parser.add_argument("--only", default=None,
+                            help="comma-separated worker subset")
+    elif action == "rollback":
+        parser.add_argument("--only", default=None,
+                            help="comma-separated worker subset")
+    elif action == "split":
+        parser.add_argument(
+            "--weights", required=True,
+            help="per-worker weights, e.g. 'w0=4,w1=1'",
+        )
+    return parser
+
+
+def _control_serve(args) -> int:
+    """Stand up N workers + the HTTP controller; serve until stopped."""
+    import asyncio
+
+    from repro.control import ControlServer, FleetController, FleetWorker
+    from repro.runtime import FlowmarkerTracker, PacketFeatureExtractor
+    from repro.serving import AsyncStreamEngine
+
+    def make_extractor():
+        if args.app == "bd":
+            return FlowmarkerTracker(max_conversations=4096)
+        return PacketFeatureExtractor()
+
+    print(f"training {args.app} pipelines (v0 + candidate v1) ...")
+    (_, v0, _), = _build_serve_routes([args.app], args.seed)
+    (_, v1, _), = _build_serve_routes([args.app], args.seed + 1)
+
+    from repro.datasets.botnet import flow_label, generate_botnet_flows
+
+    flows = generate_botnet_flows(args.flows, seed=args.seed + 1234)
+    tagged = sorted(
+        ((p.timestamp, p, flow_label(f)) for f in flows for p in f),
+        key=lambda item: item[0],
+    )
+    packets = [item[1] for item in tagged]
+    labels = [item[2] if args.app in ("ad", "bd") else None for item in tagged]
+
+    import dataclasses
+
+    span = (packets[-1].timestamp - packets[0].timestamp + 1.0
+            if len(packets) > 1 else 1.0)
+
+    async def traffic(stop: "asyncio.Event"):
+        # Loop the trace forever at ~args.rate packets/s: emit in small
+        # chunks with a sleep sized to the chunk, so pacing holds without
+        # a per-packet timer.  Each lap shifts timestamps by the trace
+        # span so stateful extractors see a monotonic stream.
+        chunk = max(1, int(args.rate // 100) or 1)
+        pause = chunk / args.rate
+        lap = 0
+        while not stop.is_set():
+            shift = lap * span
+            sent = 0
+            for packet, label in zip(packets, labels):
+                if stop.is_set():
+                    return
+                if shift:
+                    packet = dataclasses.replace(
+                        packet, timestamp=packet.timestamp + shift)
+                yield (packet, label)
+                sent += 1
+                if sent % chunk == 0:
+                    await asyncio.sleep(pause)
+            lap += 1
+
+    async def serve() -> None:
+        stop = asyncio.Event()
+        workers = []
+        for index in range(args.workers):
+            engine = AsyncStreamEngine(
+                v0, make_extractor(),
+                batch_size=args.batch_size,
+                max_latency=args.max_latency_us * 1e-6,
+                queue_depth=args.queue_depth,
+                drop_policy=args.drop_policy,
+            )
+            worker = FleetWorker(f"w{index}", engine, version="v0")
+            workers.append(worker)
+        controller = FleetController(workers)
+        controller.register_pipeline("v1", v1)
+        for worker in workers:
+            worker.attach(asyncio.create_task(
+                worker.engine.run(traffic(stop)),
+                name=f"fleet-{worker.name}",
+            ))
+        server = ControlServer(controller, host=args.host, port=args.port)
+        port = await server.start()
+        print(f"fleet controller on http://{args.host}:{port} "
+              f"({args.workers} x {args.app} workers, versions: v0 live, "
+              f"v1 registered)")
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            stop.set()
+            done = await asyncio.gather(
+                *(worker.task for worker in workers if worker.task),
+                return_exceptions=True,
+            )
+            for worker, result in zip(workers, done):
+                if isinstance(result, Exception):
+                    print(f"[{worker.name}] died: {result}", file=sys.stderr)
+            await server.stop()
+        for worker in workers:
+            summary = worker.engine.stats.summary()
+            print(f"[{worker.name}] {summary['packets']} packets, "
+                  f"{summary['swaps']} swaps, {summary['dropped']} dropped, "
+                  f"p99 {summary['latency_p99_us']:.0f} us "
+                  f"(version {worker.version})")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _control_client(action: str, args) -> int:
+    """One client verb against a running controller; prints JSON."""
+    import asyncio
+    import json
+
+    from repro.control import ControlClient
+    from repro.errors import ControlError
+
+    client = ControlClient(host=args.host, port=args.port)
+
+    async def call():
+        if action == "fleet":
+            return await client.fleet()
+        if action == "deploy":
+            gate = {}
+            if args.latency_factor is not None:
+                gate["latency_factor"] = args.latency_factor
+            if args.settle_s is not None:
+                gate["settle_s"] = args.settle_s
+            only = ([n.strip() for n in args.only.split(",") if n.strip()]
+                    if args.only else None)
+            return await client.deploy(args.version, gate=gate or None,
+                                       workers=only)
+        if action == "rollback":
+            only = ([n.strip() for n in args.only.split(",") if n.strip()]
+                    if args.only else None)
+            return await client.rollback(workers=only)
+        weights = {}
+        for part in args.weights.split(","):
+            name, _, value = part.strip().partition("=")
+            if not name or not value:
+                raise ControlError(
+                    f"--weights wants 'worker=weight,...', got {part!r}")
+            weights[name] = int(value)
+        return await client.traffic_split(weights)
+
+    try:
+        doc = asyncio.run(call())
+    except ControlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: controller unreachable at "
+              f"{args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, default=str))
+    return 0
+
+
+def control_main(argv: "list | None" = None) -> int:
+    argv = list(argv or [])
+    actions = ("serve", "fleet", "deploy", "rollback", "split")
+    if not argv or argv[0] not in actions:
+        print(f"error: control wants one of {', '.join(actions)}",
+              file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+    args = build_control_parser(action).parse_args(rest)
+    if not 0 <= args.port < 65536:
+        print("error: --port must be 0..65535", file=sys.stderr)
+        return 2
+    if action == "serve":
+        for flag, value, minimum in [
+            ("--workers", args.workers, 1),
+            ("--flows", args.flows, 1),
+            ("--batch-size", args.batch_size, 1),
+            ("--queue-depth", args.queue_depth, 1),
+        ]:
+            if value < minimum:
+                print(f"error: {flag} must be >= {minimum}", file=sys.stderr)
+                return 2
+        if args.rate <= 0 or args.duration < 0 or args.max_latency_us <= 0:
+            print("error: --rate/--max-latency-us must be > 0 and "
+                  "--duration >= 0", file=sys.stderr)
+            return 2
+        return _control_serve(args)
+    return _control_client(action, args)
+
+
 def _sharded_main(args) -> int:
     """The distributed generate path: RunSpec -> run_sharded -> report."""
     from repro.distrib import DatasetRef, ModelEntry, RunSpec, make_launcher, run_sharded
@@ -454,6 +705,8 @@ def main(argv: "list | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "control":
+        return control_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)

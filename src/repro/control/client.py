@@ -1,0 +1,111 @@
+"""Asyncio HTTP client for the fleet control plane.
+
+The client side of :class:`~repro.control.server.ControlServer`: one
+request per connection over ``asyncio.open_connection``, JSON in and
+out, error statuses surfaced as the same exception types the controller
+raises locally — ``409`` becomes :class:`DeployConflict`, any other
+``>= 400`` becomes :class:`ControlError` — so callers handle a remote
+fleet exactly like an in-process one.
+
+Example::
+
+    client = ControlClient("127.0.0.1", port)
+    fleet = await client.fleet()
+    report = await client.deploy("v2", gate={"latency_factor": 2.0})
+    await client.rollback()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ControlError, DeployConflict
+
+
+class ControlClient:
+    """Talk to one :class:`ControlServer` (host, port)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 60.0) -> None:
+        if not 0 < int(port) < 65536:
+            raise ControlError(f"client needs a real port, got {port}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    async def request(self, method: str, path: str,
+                      body: "dict | None" = None) -> dict:
+        """One HTTP exchange; returns the parsed JSON response body.
+
+        Raises :class:`DeployConflict` on 409 and :class:`ControlError`
+        on any other non-2xx status (message carries the server's
+        ``error``/``detail`` fields).
+        """
+        status, doc = await asyncio.wait_for(
+            self._exchange(method, path, body), self.timeout
+        )
+        if status == 409:
+            raise DeployConflict(doc.get("detail", "conflict"))
+        if status >= 400:
+            raise ControlError(
+                f"{method} {path} -> {status}: "
+                f"{doc.get('detail', doc.get('error', 'unknown'))}"
+            )
+        return doc
+
+    async def _exchange(self, method: str, path: str, body):
+        payload = json.dumps(body).encode() if body is not None else b""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ControlError(f"malformed response: {status_line!r}")
+        try:
+            doc = json.loads(rest) if rest else {}
+        except json.JSONDecodeError as exc:
+            raise ControlError(f"malformed response body: {exc}") from exc
+        return int(parts[1]), doc
+
+    # -- endpoint helpers ------------------------------------------------
+    async def fleet(self) -> dict:
+        """``GET /fleet``: the controller's fleet snapshot."""
+        return await self.request("GET", "/fleet")
+
+    async def deploy(self, version: str, gate: "dict | None" = None,
+                     workers: "list | None" = None) -> dict:
+        """``POST /deploy``: rolling gated swap to ``version``."""
+        body: dict = {"version": version}
+        if gate is not None:
+            body["gate"] = gate
+        if workers is not None:
+            body["workers"] = list(workers)
+        return await self.request("POST", "/deploy", body)
+
+    async def rollback(self, workers: "list | None" = None) -> dict:
+        """``POST /rollback``: instant revert to retained pipelines."""
+        body = {"workers": list(workers)} if workers is not None else {}
+        return await self.request("POST", "/rollback", body)
+
+    async def traffic_split(self, weights: dict) -> dict:
+        """``POST /traffic-split``: adjust per-worker weights live."""
+        return await self.request("POST", "/traffic-split",
+                                  {"weights": dict(weights)})

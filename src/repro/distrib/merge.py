@@ -41,6 +41,7 @@ from repro.core.evaluator import ModelEvaluator
 from repro.core.pareto import PRIMARY_RESOURCE
 from repro.core.reports import CompileReport
 from repro.errors import DistributionError
+from repro.fsio import sweep_orphan_tmp
 
 from repro.distrib.runspec import RunSpec
 from repro.distrib.scheduler import plan_units, unit_model_seed
@@ -97,10 +98,19 @@ def merge_spills(spill_paths: list, out_path: str) -> EvaluationCache:
     earlier ones for conflicting configurations, exactly as documented
     on :meth:`EvaluationCache.load`.  The merged cache is written
     atomically to ``out_path`` and returned.
+
+    Merge time is also when orphaned atomic-write temporaries
+    (``*.tmp.<pid>.<tid>``, left by spill writers that were killed
+    mid-write — every merge runs only after all tasks resolved) are
+    swept from the spill and output directories, so retried fleets do
+    not accumulate litter next to their caches.
     """
+    for directory in sorted({os.path.dirname(p) for p in spill_paths}):
+        sweep_orphan_tmp(directory)
     merged = EvaluationCache()
     for path in spill_paths:
         merged.load(path)
+    sweep_orphan_tmp(os.path.dirname(out_path))
     merged.save(out_path)
     merged.path = out_path
     return merged
@@ -304,6 +314,11 @@ def merge_shard_spill_dirs(
     for shard_dir in shard_spill_dirs:
         if not shard_dir or not os.path.isdir(shard_dir):
             continue
+        # Shard workers write spills with atomic_write_json; a worker
+        # killed mid-write (the reaper's whole reason to exist) leaves
+        # its *.tmp.<pid>.<tid> behind.  All writers are done by merge
+        # time, so sweep before grouping.
+        sweep_orphan_tmp(shard_dir)
         for name in sorted(os.listdir(shard_dir)):
             if name.endswith(".json"):
                 grouped.setdefault(name, []).append(os.path.join(shard_dir, name))

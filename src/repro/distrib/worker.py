@@ -15,7 +15,13 @@ Runs in three modes:
   r.json`` (one shard per process, the real local backend),
 * **drain** — ``python -m repro.distrib.worker --drain <queue-dir>``:
   claim-run-complete against a shared work-queue directory until it is
-  empty; point any number of machines at the same directory.
+  empty; point any number of machines at the same directory,
+* **reap** — ``python -m repro.distrib.worker --reap <queue-dir>
+  --stale-after 30``: requeue claims whose heartbeat has stopped.  The
+  driver runs its own :class:`~repro.distrib.launchers.ReaperThread`,
+  but a fleet whose drainers are all external machines loses that
+  thread the moment the driver host dies — a standalone reaper on any
+  surviving machine keeps orphaned claims from stranding the queue.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from repro.distrib.queuedir import WorkQueue
 from repro.distrib.runspec import RunSpec
 from repro.distrib.scheduler import ShardSpec, unit_family_seed, unit_model_seed
 
-__all__ = ["UnitResult", "ShardResult", "run_shard", "main"]
+__all__ = ["UnitResult", "ShardResult", "run_shard", "reap", "main"]
 
 
 # --------------------------------------------------------------------------- #
@@ -391,16 +397,70 @@ def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0,
             queue.fail(name, f"{type(exc).__name__}: {exc}")
 
 
+def reap(queue_dir: str, stale_after: float, poll: "float | None" = None,
+         once: bool = False, stop=None, on_reap=None) -> int:
+    """Requeue stale claims in ``queue_dir`` until stopped.
+
+    The standalone twin of the driver's
+    :class:`~repro.distrib.launchers.ReaperThread`, for fleets whose
+    drainers are all external machines: if the driver host dies, its
+    in-process reaper dies with it, and any claim owned by a worker
+    that also crashes would strand in ``claimed/`` forever.  Running
+    ``python -m repro.distrib.worker --reap <dir> --stale-after S`` on
+    any surviving machine closes that hole — requeueing is an atomic
+    rename, so any number of reapers (including the driver's own) race
+    safely over the same queue.
+
+    Every ``poll`` seconds (default ``stale_after / 4``, the
+    ReaperThread cadence) claims whose mtime lags more than
+    ``stale_after`` are pushed back to ``tasks/``.  ``once=True``
+    sweeps a single round and returns (cron-style use); otherwise the
+    loop runs until ``stop`` (an optional zero-argument callable polled
+    each round) returns ``True``.  ``on_reap`` is called with each
+    requeued name.  Returns how many claims were requeued.
+    """
+    from repro.errors import DistributionError
+
+    if stale_after <= 0:
+        raise DistributionError(f"stale_after must be > 0, got {stale_after}")
+    queue = WorkQueue(queue_dir)
+    interval = poll if poll is not None else max(stale_after / 4, 0.05)
+    reaped = 0
+    while True:
+        for name in queue.stale_claims(stale_after):
+            if queue.requeue_stale(name):
+                reaped += 1
+                if on_reap is not None:
+                    on_reap(name)
+        if once or (stop is not None and stop()):
+            return reaped
+        time.sleep(interval)
+
+
 def main(argv: "list | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.distrib.worker",
-        description="Run one search shard (or drain a work-queue directory).",
+        description="Run one search shard, drain a work-queue directory, "
+                    "or reap its stale claims.",
     )
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--task", help="shard task JSON file")
     mode.add_argument("--drain", metavar="QUEUE_DIR",
                       help="claim+run tasks from this work-queue directory")
+    mode.add_argument("--reap", metavar="QUEUE_DIR",
+                      help="requeue stale claims in this work-queue "
+                           "directory (run it on any machine that can see "
+                           "the queue; survives driver death)")
     parser.add_argument("--out", help="result JSON path (with --task)")
+    parser.add_argument(
+        "--stale-after", type=float, default=30.0,
+        help="reap a claim once its heartbeat mtime lags this many "
+             "seconds (with --reap; must exceed the worker heartbeat)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="with --reap: one sweep, then exit (cron-style)",
+    )
     parser.add_argument("--poll", type=float, default=0.2,
                         help="drain poll interval in seconds")
     parser.add_argument(
@@ -422,6 +482,19 @@ def main(argv: "list | None" = None) -> int:
         with open(args.task) as handle:
             payload = json.load(handle)
         atomic_write_json(args.out, run_task_payload(payload, allow_chaos_kill=True))
+        return 0
+    if args.reap:
+        if args.stale_after <= 0:
+            print("error: --stale-after must be > 0", file=sys.stderr)
+            return 2
+        try:
+            reaped = reap(
+                args.reap, stale_after=args.stale_after, once=args.once,
+                on_reap=lambda name: print(f"requeued stale claim: {name}"),
+            )
+        except KeyboardInterrupt:
+            return 0
+        print(f"reaped {reaped} stale claim(s) from {args.reap}")
         return 0
     completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle,
                       heartbeat=args.heartbeat, allow_chaos_kill=True)

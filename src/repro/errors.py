@@ -41,3 +41,11 @@ class TrainingError(HomunculusError):
 
 class DistributionError(HomunculusError):
     """A distributed search shard failed, stalled, or returned bad results."""
+
+
+class ControlError(HomunculusError):
+    """A serving-fleet control-plane operation is invalid or failed."""
+
+
+class DeployConflict(ControlError):
+    """A fleet mutation raced a rollout already in progress (HTTP 409)."""

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
+import time
+
+#: The temporary-file suffix :func:`atomic_write_json` appends:
+#: ``<anything>.tmp.<pid>.<thread-id>``.
+_TMP_PATTERN = re.compile(r"\.tmp\.\d+\.\d+$")
 
 
 def atomic_write_json(path: str, doc, indent: int = 1) -> str:
@@ -37,3 +43,41 @@ def atomic_write_json(path: str, doc, indent: int = 1) -> str:
         if os.path.exists(tmp):  # a failed write must not leave litter
             os.unlink(tmp)
     return path
+
+
+def sweep_orphan_tmp(directory: str, older_than_s: float = 0.0) -> list:
+    """Delete orphaned :func:`atomic_write_json` temporaries; return them.
+
+    A writer that dies between creating its ``*.tmp.<pid>.<tid>`` file
+    and the :func:`os.replace` — SIGKILL, OOM, a reaped shard worker —
+    leaves the temporary behind: the ``finally`` cleanup never runs in a
+    killed process.  Nothing ever reads those files (readers only see
+    the target path), so they are pure litter that accumulates across
+    retries.  This sweeps ``directory`` (non-recursively) for files
+    matching the temporary-name pattern whose mtime is at least
+    ``older_than_s`` seconds old and removes them.
+
+    Call it only at points where every writer into ``directory`` is
+    known to have finished or been declared dead — e.g. merge time,
+    after all tasks resolved — where ``older_than_s=0`` is safe: a
+    straggler that somehow still held an open handle would complete its
+    write into a name nothing will ever rename over the merged output.
+
+    Returns the removed paths (sorted), so callers can log the sweep.
+    """
+    if not directory or not os.path.isdir(directory):
+        return []
+    cutoff = time.time() - max(0.0, older_than_s)
+    removed = []
+    for name in sorted(os.listdir(directory)):
+        if not _TMP_PATTERN.search(name):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if not os.path.isfile(path) or os.path.getmtime(path) > cutoff:
+                continue
+            os.unlink(path)
+        except OSError:  # a racing sweep already removed it
+            continue
+        removed.append(path)
+    return removed

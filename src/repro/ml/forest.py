@@ -78,10 +78,16 @@ class RandomForestClassifier(_BaseForest):
         )
 
     def fit(self, X, y):
+        """Fit the ensemble on bootstrap resamples of ``(X, y)``.
+
+        The forest-level class table is recorded first so trees whose
+        bootstrap missed a class still vote in a common column order.
+        """
         self.classes_ = np.unique(np.asarray(y))
         return super().fit(X, y)
 
     def predict_proba(self, X) -> np.ndarray:
+        """Per-class probabilities averaged over every tree's vote."""
         if not self.trees:
             raise TrainingError("forest used before fit()")
         X = np.asarray(X, dtype=float)
@@ -95,6 +101,7 @@ class RandomForestClassifier(_BaseForest):
         return total / len(self.trees)
 
     def predict(self, X) -> np.ndarray:
+        """Majority-vote class label for every row of ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[proba.argmax(axis=1)]
 
@@ -118,6 +125,7 @@ class RandomForestRegressor(_BaseForest):
         return np.stack([tree.predict(X) for tree in self.trees])
 
     def predict(self, X) -> np.ndarray:
+        """Across-tree mean prediction for every row of ``X``."""
         return self._all_predictions(X).mean(axis=0)
 
     def predict_with_std(self, X) -> tuple[np.ndarray, np.ndarray]:

@@ -84,6 +84,11 @@ class KMeans:
         return centers, inertia
 
     def fit(self, X) -> "KMeans":
+        """Cluster ``X``: best of ``n_init`` Lloyd runs by inertia.
+
+        Fitted centroids land in :attr:`cluster_centers_`, their
+        summed squared distances in :attr:`inertia_`.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
             raise TrainingError("X must be 2-D")
@@ -110,6 +115,7 @@ class KMeans:
         return dists.argmin(axis=1)
 
     def fit_predict(self, X) -> np.ndarray:
+        """:meth:`fit` on ``X`` and return its cluster assignments."""
         return self.fit(X).predict(X)
 
     def merge_clusters(self, target: int) -> "KMeans":

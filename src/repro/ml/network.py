@@ -100,6 +100,12 @@ class NeuralNetwork:
     # Forward / training
     # ------------------------------------------------------------------ #
     def forward(self, X: np.ndarray, training: bool = False) -> np.ndarray:
+        """One forward pass through every layer; returns the activations.
+
+        ``training=True`` enables train-time behaviour (e.g. dropout
+        masking); inference callers leave it off.  A 1-D input is
+        treated as a single sample.
+        """
         out = np.asarray(X, dtype=float)
         if out.ndim == 1:
             out = out.reshape(1, -1)

@@ -34,6 +34,7 @@ class StandardScaler:
         self.scale_: np.ndarray | None = None
 
     def fit(self, X) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation from ``X``."""
         X = _as_2d(X)
         if X.shape[0] == 0:
             raise DatasetError("cannot fit StandardScaler on an empty array")
@@ -44,6 +45,7 @@ class StandardScaler:
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Center and scale ``X`` with the fitted statistics."""
         if self.mean_ is None or self.scale_ is None:
             raise DatasetError("StandardScaler used before fit()")
         X = _as_2d(X)
@@ -54,9 +56,11 @@ class StandardScaler:
         return (X - self.mean_) / self.scale_
 
     def fit_transform(self, X) -> np.ndarray:
+        """:meth:`fit` on ``X``, then :meth:`transform` the same array."""
         return self.fit(X).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Undo :meth:`transform`: map standardized values back to raw units."""
         if self.mean_ is None or self.scale_ is None:
             raise DatasetError("StandardScaler used before fit()")
         return _as_2d(X) * self.scale_ + self.mean_
@@ -79,6 +83,7 @@ class MinMaxScaler:
         self.data_max_: np.ndarray | None = None
 
     def fit(self, X) -> "MinMaxScaler":
+        """Record each feature's min and max over ``X``."""
         X = _as_2d(X)
         if X.shape[0] == 0:
             raise DatasetError("cannot fit MinMaxScaler on an empty array")
@@ -87,6 +92,11 @@ class MinMaxScaler:
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Rescale ``X`` into ``feature_range`` using the fitted min/max.
+
+        Constant features map to the range's low end rather than
+        dividing by a zero span.
+        """
         if self.data_min_ is None or self.data_max_ is None:
             raise DatasetError("MinMaxScaler used before fit()")
         X = _as_2d(X)
@@ -97,6 +107,7 @@ class MinMaxScaler:
         return unit * (hi - lo) + lo
 
     def fit_transform(self, X) -> np.ndarray:
+        """:meth:`fit` on ``X``, then :meth:`transform` the same array."""
         return self.fit(X).transform(X)
 
 
@@ -107,10 +118,16 @@ class LabelEncoder:
         self.classes_: np.ndarray | None = None
 
     def fit(self, y) -> "LabelEncoder":
+        """Learn the sorted set of distinct labels in ``y``."""
         self.classes_ = np.unique(np.asarray(y))
         return self
 
     def transform(self, y) -> np.ndarray:
+        """Encode ``y`` as indices into :attr:`classes_`.
+
+        A label never seen during :meth:`fit` raises
+        :class:`~repro.errors.DatasetError`.
+        """
         if self.classes_ is None:
             raise DatasetError("LabelEncoder used before fit()")
         y = np.asarray(y)
@@ -121,9 +138,11 @@ class LabelEncoder:
             raise DatasetError(f"unseen label during transform: {exc.args[0]!r}") from exc
 
     def fit_transform(self, y) -> np.ndarray:
+        """:meth:`fit` on ``y``, then :meth:`transform` the same labels."""
         return self.fit(y).transform(y)
 
     def inverse_transform(self, y) -> np.ndarray:
+        """Map encoded integers back to the original labels."""
         if self.classes_ is None:
             raise DatasetError("LabelEncoder used before fit()")
         y = np.asarray(y, dtype=int)
@@ -145,6 +164,7 @@ class OneHotEncoder:
         self.n_classes = n_classes
 
     def fit(self, y) -> "OneHotEncoder":
+        """Infer ``n_classes`` from ``y`` when not given at construction."""
         y = np.asarray(y, dtype=int)
         if self.n_classes is None:
             if y.size == 0:
@@ -153,6 +173,7 @@ class OneHotEncoder:
         return self
 
     def transform(self, y) -> np.ndarray:
+        """Encode integer labels as ``(len(y), n_classes)`` one-hot rows."""
         if self.n_classes is None:
             raise DatasetError("OneHotEncoder used before fit()")
         y = np.asarray(y, dtype=int)
@@ -165,10 +186,12 @@ class OneHotEncoder:
         return out
 
     def fit_transform(self, y) -> np.ndarray:
+        """:meth:`fit` on ``y``, then :meth:`transform` the same labels."""
         return self.fit(y).transform(y)
 
     @staticmethod
     def inverse_transform(one_hot) -> np.ndarray:
+        """Collapse one-hot (or probability) rows back to class indices."""
         one_hot = np.asarray(one_hot, dtype=float)
         if one_hot.ndim != 2:
             raise DatasetError("one-hot array must be 2-D")

@@ -269,6 +269,7 @@ class DecisionTreeClassifier(_BaseTree):
         return best_feature, best_threshold, best_gain
 
     def predict_proba(self, X) -> np.ndarray:
+        """Per-class probabilities: leaf class counts, normalized."""
         X = np.asarray(X, dtype=float)
         out = np.zeros((X.shape[0], len(self.classes_)))
         for i, x in enumerate(X):
@@ -277,6 +278,7 @@ class DecisionTreeClassifier(_BaseTree):
         return out
 
     def predict(self, X) -> np.ndarray:
+        """Most probable class label for every row of ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[proba.argmax(axis=1)]
 
@@ -343,6 +345,7 @@ class DecisionTreeRegressor(_BaseTree):
         return best_feature, best_threshold, best_gain
 
     def predict(self, X) -> np.ndarray:
+        """Leaf-mean regression value for every row of ``X``."""
         # Batched traversal: partition the whole query set down the tree
         # instead of walking it one sample at a time (the surrogate
         # scores a 256-candidate pool per BO iteration).

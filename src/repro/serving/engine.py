@@ -175,6 +175,9 @@ class AsyncStreamEngine:
         self.clock = clock if clock is not None else WallClock()
         self.stats = stats if stats is not None else ServingStats()
         self.pipeline_generation = 0
+        #: The pipeline the last :meth:`swap_pipeline` replaced — retained
+        #: so a controller can :meth:`rollback_pipeline` instantly.
+        self.previous_pipeline = None
         self._inflight: set = set()
 
     def _on_flush(self, rows: int, deadline: bool) -> None:
@@ -205,9 +208,27 @@ class AsyncStreamEngine:
                 "pipeline (concurrent swap?)"
             )
         self.pipeline = pipeline
+        self.previous_pipeline = current
         self.pipeline_generation += 1
         self.stats.mark_swap(self.clock.now())
         return current
+
+    def rollback_pipeline(self):
+        """Hitlessly revert to the pipeline the last swap replaced.
+
+        The control plane's instant-revert primitive: every swap retains
+        the pipeline it displaced in :attr:`previous_pipeline`, and a
+        rollback is just another hitless swap back to it (so it is
+        itself counted, timestamped, and retained — rolling back twice
+        re-installs the upgrade).  Raises :class:`HomunculusError` when
+        no swap has happened yet.
+        """
+        if self.previous_pipeline is None:
+            raise HomunculusError(
+                "rollback_pipeline: no previous pipeline retained "
+                "(no swap has happened)"
+            )
+        return self.swap_pipeline(self.previous_pipeline)
 
     async def drain_inflight(self) -> None:
         """Wait until every batch dispatched to inference has completed.

@@ -164,6 +164,26 @@ class RingSeries:
         idx = (np.arange(self.capacity) + self._head) % self.capacity
         return self._times[idx], self._values[idx]
 
+    def window(
+        self, since: "float | None" = None, until: "float | None" = None
+    ) -> np.ndarray:
+        """Values whose timestamps fall in ``(since, until]``.
+
+        The snapshot-window primitive behind the control plane's
+        deploy gating: record ``t`` at the swap, then compare
+        ``window(until=t)`` (the pre-swap behaviour still in the ring)
+        against ``window(since=t)`` (everything the new pipeline has
+        done).  Bounds are exclusive-below / inclusive-above so one
+        sample never lands in both windows.
+        """
+        times, values = self.samples()
+        mask = np.ones(len(values), dtype=bool)
+        if since is not None:
+            mask &= times > float(since)
+        if until is not None:
+            mask &= times <= float(until)
+        return values[mask]
+
 
 @dataclass
 class ServingStats(StreamStats):
@@ -240,6 +260,23 @@ class ServingStats(StreamStats):
         self.swaps += 1
         if t is not None:
             self.swap_times.append(float(t))
+
+    def counters(self) -> dict:
+        """Monotonic counters as a plain dict (a *snapshot*).
+
+        The other half of the control plane's window comparison: take
+        one snapshot before a swap and subtract it from a later one to
+        get exact per-window packet/drop/batch deltas — counters never
+        reset, so deltas are race-free no matter when the rings wrapped.
+        """
+        return {
+            "packets": self.packets,
+            "enqueued": self.enqueued,
+            "dropped": self.dropped,
+            "batches": self.batches,
+            "batch_rows": self.batch_rows,
+            "swaps": self.swaps,
+        }
 
     @property
     def mean_batch(self) -> float:

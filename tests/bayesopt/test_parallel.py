@@ -157,6 +157,39 @@ class TestEngineBehavior:
         assert engine.stats["speculative_failures"] >= 1
 
 
+class TestRespeculation:
+    """Divergences refill the pool with a fresh believer batch; the
+    trajectory must not move, only the prefetch hit rate."""
+
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_hit_rate_improves_without_changing_history(self, space, seed):
+        serial = BayesianOptimizer(space, quadratic, warmup=4, seed=seed).run(15)
+        stats = {}
+        for flag in (False, True):
+            engine = ParallelEvaluator(
+                space, quadratic, n_workers=4, warmup=4, seed=seed,
+                respeculate=flag,
+            )
+            assert _history(engine.run(15)) == _history(serial)
+            stats[flag] = dict(engine.stats)
+        assert stats[True]["speculative_hits"] > stats[False]["speculative_hits"]
+        assert stats[True]["respeculations"] >= 1
+        assert stats[False]["respeculations"] == 0
+
+    def test_respeculated_failures_are_discarded(self, space):
+        # Same contract as plain speculation: only the exact next serial
+        # config may abort the run, even when it is pool-evaluated at a
+        # divergence alongside respeculated believers.
+        def partial(config):
+            if config["x"] > 0 and config["y"] > 0:
+                raise RuntimeError("unlowerable region")
+            return quadratic(config)
+
+        serial = BayesianOptimizer(space, partial, warmup=4, seed=1).run(12)
+        engine = ParallelEvaluator(space, partial, n_workers=4, warmup=4, seed=1)
+        assert _history(engine.run(12)) == _history(serial)
+
+
 class TestProcessExecutor:
     def test_process_pool_matches_serial(self, space):
         serial = BayesianOptimizer(space, quadratic, warmup=3, seed=6).run(8)

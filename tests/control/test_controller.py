@@ -1,0 +1,282 @@
+"""Fleet-controller failure paths.
+
+The happy rolling-deploy path is covered end to end by
+``benchmarks/bench_control.py``; these tests pin the contract when
+things go wrong — a worker dying mid-rollout, a regression tripping the
+telemetry gate, and the one-mutation-at-a-time guard surfacing as an
+HTTP 409 through the real server/client pair.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ControlClient,
+    ControlServer,
+    FleetController,
+    FleetWorker,
+    RegressionGate,
+)
+from repro.errors import ControlError, DeployConflict
+from repro.netsim.packet import Packet
+from repro.runtime import PacketFeatureExtractor
+from repro.serving import AsyncStreamEngine
+
+
+def make_packet(ts, size=100):
+    return Packet(timestamp=ts, size=size, src_ip=1, dst_ip=2,
+                  src_port=1000, dst_port=2000)
+
+
+class ToyPipeline:
+    """Deterministic stand-in: predicts size > 500, optionally slow."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def predict(self, X):
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return (np.asarray(X)[:, 0] > 500).astype(int)
+
+
+async def endless():
+    """Paced synthetic traffic; runs until the consuming task is cancelled."""
+    i = 0
+    while True:
+        yield make_packet(ts=float(i)), None
+        i += 1
+        if i % 4 == 0:
+            await asyncio.sleep(0.002)
+
+
+def make_worker(name, pipeline=None):
+    engine = AsyncStreamEngine(
+        pipeline if pipeline is not None else ToyPipeline(),
+        PacketFeatureExtractor(),
+        batch_size=8,
+        max_latency=0.02,
+        queue_depth=4096,
+    )
+    return FleetWorker(name, engine)
+
+
+def fast_gate(**overrides):
+    """A gate tuned for sub-second tests on a noisy event loop."""
+    base = dict(latency_factor=3.0, latency_floor_s=0.05,
+                drop_margin=0.01, min_batches=2, settle_s=8.0, poll_s=0.005)
+    base.update(overrides)
+    return RegressionGate(**base)
+
+
+async def start_fleet(workers):
+    for worker in workers:
+        worker.attach(asyncio.create_task(worker.engine.run(endless())))
+    # Let every worker record some pre-swap telemetry.
+    await asyncio.sleep(0.4)
+
+
+async def stop_fleet(workers):
+    for worker in workers:
+        if worker.task is not None:
+            worker.task.cancel()
+    await asyncio.gather(*(w.task for w in workers if w.task is not None),
+                         return_exceptions=True)
+
+
+class TestRegressionRollback:
+    def test_regressed_worker_rolls_back_and_rollout_aborts(self):
+        async def scenario():
+            good = ToyPipeline()
+            w0, w1 = make_worker("w0", good), make_worker("w1")
+            controller = FleetController([w0, w1], gate=fast_gate())
+            bad = ToyPipeline(delay_s=0.2)   # ~10x the healthy batch wait
+            controller.register_pipeline("v-bad", bad)
+            await start_fleet([w0, w1])
+            try:
+                report = await controller.deploy("v-bad")
+            finally:
+                await stop_fleet([w0, w1])
+            return good, w0, w1, report
+
+        good, w0, w1, report = asyncio.run(scenario())
+        assert report["ok"] is False
+        assert report["aborted_at"] == "w0"
+        assert report["rolled_back"] == ["w0"]
+        assert report["workers"]["w0"]["action"] == "rolled-back"
+        assert report["workers"]["w0"]["verdict"]["regressed"] is True
+        # The regressed worker is back on the pipeline it had before the
+        # swap — the very object, not a copy.
+        assert w0.engine.pipeline is good
+        assert w0.version == "v0"
+        # The rollout never reached w1.
+        assert report["workers"]["w1"] == {"action": "untouched"}
+        assert w1.version == "v0"
+        assert w1.engine.pipeline_generation == 0
+        # Nothing was dropped while the bad deploy came and went (full
+        # conservation needs a clean drain — bench_control asserts it).
+        for worker in (w0, w1):
+            counters = worker.engine.stats.counters()
+            assert counters["dropped"] == 0
+            assert counters["packets"] > 0
+
+    def test_healthy_deploy_upgrades_whole_fleet(self):
+        # The control case: same fleet, same gate, an honest pipeline —
+        # the rollout must NOT trip the gate.
+        async def scenario():
+            w0, w1 = make_worker("w0"), make_worker("w1")
+            controller = FleetController([w0, w1], gate=fast_gate())
+            v1 = ToyPipeline()
+            controller.register_pipeline("v1", v1)
+            await start_fleet([w0, w1])
+            try:
+                report = await controller.deploy("v1")
+            finally:
+                await stop_fleet([w0, w1])
+            return v1, w0, w1, report
+
+        v1, w0, w1, report = asyncio.run(scenario())
+        assert report["ok"] is True
+        assert report["upgraded"] == ["w0", "w1"]
+        assert w0.engine.pipeline is v1 and w1.engine.pipeline is v1
+        assert w0.version == "v1" and w1.version == "v1"
+
+
+class TestWorkerDeathMidRollout:
+    def test_death_during_settle_aborts_and_spares_survivors(self):
+        async def scenario():
+            old0, old1 = ToyPipeline(), ToyPipeline()
+            w0, w1 = make_worker("w0", old0), make_worker("w1", old1)
+            # min_batches is unreachable, so the deploy is guaranteed to
+            # still be settling on w0 when we kill it.
+            controller = FleetController(
+                [w0, w1], gate=fast_gate(min_batches=10**6, settle_s=30.0))
+            controller.register_pipeline("v1", ToyPipeline())
+            await start_fleet([w0, w1])
+            deploy = asyncio.create_task(controller.deploy("v1"))
+            await asyncio.sleep(0.3)      # deploy is inside w0's settle loop
+            assert not deploy.done()
+            w0.task.cancel()              # the "machine" dies mid-swap
+            try:
+                report = await deploy
+            finally:
+                await stop_fleet([w0, w1])
+            return old0, old1, w0, w1, report
+
+        old0, old1, w0, w1, report = asyncio.run(scenario())
+        assert report["ok"] is False
+        assert report["aborted_at"] == "w0"
+        assert report["workers"]["w0"]["action"] == "rolled-back"
+        assert report["workers"]["w0"]["reason"] == "worker died mid-swap"
+        # The dead worker's engine was reverted (so a restart serves the
+        # old version), and the survivor was never touched.
+        assert w0.engine.pipeline is old0
+        assert w0.version == "v0"
+        assert report["workers"]["w1"] == {"action": "untouched"}
+        assert w1.engine.pipeline is old1
+        assert w1.version == "v0"
+        assert w1.alive() is False or w1.task.cancelled()
+
+    def test_death_before_swap_aborts_without_touching_the_worker(self):
+        async def scenario():
+            old = ToyPipeline()
+            w0 = make_worker("w0", old)
+            controller = FleetController([w0], gate=fast_gate())
+            controller.register_pipeline("v1", ToyPipeline())
+            w0.attach(asyncio.create_task(w0.engine.run(endless())))
+            w0.task.cancel()
+            await asyncio.gather(w0.task, return_exceptions=True)
+            report = await controller.deploy("v1")
+            return old, w0, report
+
+        old, w0, report = asyncio.run(scenario())
+        assert report["ok"] is False
+        assert report["reason"] == "worker dead before swap"
+        assert report["workers"]["w0"]["action"] == "aborted"
+        assert w0.engine.pipeline is old          # never swapped
+        assert w0.engine.pipeline_generation == 0
+
+
+class TestConflictGuard:
+    def test_concurrent_deploy_rejected_409_over_http(self):
+        async def scenario():
+            w0, w1 = make_worker("w0"), make_worker("w1")
+            # Slow gate: the first deploy settles for ~1s (and ends in an
+            # insufficient-traffic rollback, which is fine — it just has
+            # to still be running when the rival requests arrive).
+            controller = FleetController(
+                [w0, w1], gate=fast_gate(min_batches=10**6, settle_s=1.0))
+            controller.register_pipeline("v1", ToyPipeline())
+            await start_fleet([w0, w1])
+            server = ControlServer(controller)
+            port = await server.start()
+            client = ControlClient("127.0.0.1", port)
+            try:
+                first = asyncio.create_task(client.deploy("v1"))
+                await asyncio.sleep(0.2)   # first deploy is mid-settle
+                with pytest.raises(DeployConflict):
+                    await client.deploy("v1")
+                with pytest.raises(DeployConflict):
+                    await client.rollback()
+                with pytest.raises(DeployConflict):
+                    await client.traffic_split({"w0": 2, "w1": 1})
+                busy = (await client.fleet())["busy"]   # observation still works
+                report = await first
+            finally:
+                await server.stop()
+                await stop_fleet([w0, w1])
+            return busy, report
+
+        busy, report = asyncio.run(scenario())
+        assert busy == "deploy:v1"
+        # The rival requests did not corrupt the first rollout's outcome.
+        assert report["ok"] is False
+        assert "insufficient post-swap traffic" in report["reason"]
+
+    def test_guard_releases_after_rollout(self):
+        async def scenario():
+            w0 = make_worker("w0")
+            controller = FleetController([w0], gate=fast_gate())
+            controller.register_pipeline("v1", ToyPipeline())
+            await start_fleet([w0])
+            try:
+                first = await controller.deploy("v1")
+                second = await controller.rollback()   # no conflict now
+            finally:
+                await stop_fleet([w0])
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["ok"] is True
+        assert second == {"ok": True, "reverted": ["w0"], "skipped": []}
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        w0 = make_worker("w0")
+        controller = FleetController([w0])
+        with pytest.raises(ControlError, match="unknown version"):
+            asyncio.run(controller.deploy("v-nope"))
+        assert controller._busy is None
+
+    def test_unknown_workers_rejected(self):
+        controller = FleetController([make_worker("w0")])
+        controller.register_pipeline("v1", ToyPipeline())
+        with pytest.raises(ControlError, match="unknown workers"):
+            asyncio.run(controller.deploy("v1", workers=["w9"]))
+        with pytest.raises(ControlError, match="unknown workers"):
+            controller.traffic_split({"w9": 2})
+
+    def test_pipeline_must_predict(self):
+        controller = FleetController([make_worker("w0")])
+        with pytest.raises(ControlError, match="predict"):
+            controller.register_pipeline("v1", object())
+
+    def test_duplicate_worker_names_rejected(self):
+        with pytest.raises(ControlError, match="duplicate"):
+            FleetController([make_worker("w0"), make_worker("w0")])

@@ -114,6 +114,78 @@ class TestMergeSpills:
                                       str(tmp_path)) is None
 
 
+class TestOrphanTmpSweep:
+    """A writer SIGKILLed between tmp-create and os.replace leaves
+    ``<spill>.tmp.<pid>.<tid>`` litter; merge time must sweep it."""
+
+    def plant_orphan(self, directory, name="fam_a.json.tmp.99999.140001"):
+        orphan = directory / name
+        orphan.write_text('{"half": "written')   # torn JSON, never renamed
+        return orphan
+
+    def spill(self, tmp_path, name, entries):
+        cache = EvaluationCache()
+        for config, objective in entries:
+            cache.put(config, Evaluation(config=config, objective=objective))
+        path = str(tmp_path / name)
+        cache.save(path)
+        return path
+
+    def test_merge_spills_sweeps_input_and_output_dirs(self, tmp_path):
+        spills = tmp_path / "spills"
+        out = tmp_path / "out"
+        spills.mkdir()
+        out.mkdir()
+        a = self.spill(spills, "a.json", [({"x": 1}, 0.5)])
+        in_orphan = self.plant_orphan(spills, "a.json.tmp.4242.1")
+        out_orphan = self.plant_orphan(out, "merged.json.tmp.4242.2")
+        merged = merge_spills([a], str(out / "merged.json"))
+        assert not in_orphan.exists()
+        assert not out_orphan.exists()
+        assert merged.get({"x": 1}).objective == 0.5  # merge unaffected
+
+    def test_shard_dir_merge_sweeps_planted_orphan(self, tmp_path):
+        shard0 = tmp_path / "s0"
+        shard0.mkdir()
+        self.spill(shard0, "fam_a.json", [({"x": 1}, 0.1)])
+        orphan = self.plant_orphan(shard0)
+        out = tmp_path / "merged"
+        out.mkdir()
+        union = merge_shard_spill_dirs([str(shard0)], str(out))
+        assert not orphan.exists()
+        assert union.get({"x": 1}).objective == 0.1
+        # The real spill survived the sweep.
+        assert (shard0 / "fam_a.json").exists()
+
+    def test_sweep_spares_live_files_and_respects_age(self, tmp_path):
+        import os
+        import time
+
+        from repro.fsio import sweep_orphan_tmp
+
+        keep = tmp_path / "fam.json"           # real artifact
+        keep.write_text("{}")
+        lookalike = tmp_path / "fam.json.tmp.x.1"   # pid is not digits
+        lookalike.write_text("")
+        fresh = tmp_path / "fam.json.tmp.1.2"
+        fresh.write_text("")
+        old = tmp_path / "fam.json.tmp.3.4"
+        old.write_text("")
+        past = time.time() - 3600
+        os.utime(old, (past, past))
+        removed = sweep_orphan_tmp(str(tmp_path), older_than_s=60.0)
+        assert removed == [str(old)]
+        assert keep.exists() and lookalike.exists() and fresh.exists()
+        # older_than_s=0 takes the fresh one too.
+        assert sweep_orphan_tmp(str(tmp_path)) == [str(fresh)]
+
+    def test_sweep_missing_dir_is_noop(self, tmp_path):
+        from repro.fsio import sweep_orphan_tmp
+
+        assert sweep_orphan_tmp(str(tmp_path / "nope")) == []
+        assert sweep_orphan_tmp("") == []
+
+
 def unit(model=0, family=0, start=0, n=3, stats=None):
     return UnitResult(
         model_index=model, model_name="m", family_index=family,

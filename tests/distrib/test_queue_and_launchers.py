@@ -23,7 +23,7 @@ from repro.distrib import (
     plan_shards,
     plan_units,
 )
-from repro.distrib.worker import drain, main as worker_main
+from repro.distrib.worker import drain, main as worker_main, reap
 from repro.errors import DistributionError
 
 
@@ -144,6 +144,77 @@ class TestWorkQueue:
             stop.set()
             thread.join()
         assert not errors
+
+
+class TestReap:
+    """The standalone reaper: external-only fleets must survive the
+    driver host (and its in-process ReaperThread) dying."""
+
+    def backdate_claim(self, queue_dir, name, age_s=3600.0):
+        path = os.path.join(str(queue_dir), "claimed", f"{name}.json")
+        past = os.path.getmtime(path) - age_s
+        os.utime(path, (past, past))
+
+    def test_reap_requeues_stale_claim(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()
+        self.backdate_claim(tmp_path, "t")
+        seen: list = []
+        assert reap(str(tmp_path), stale_after=60.0, once=True,
+                    on_reap=seen.append) == 1
+        assert seen == ["t"]
+        assert queue.claimed() == []
+        assert queue.pending() == ["t"]
+        # A surviving drainer can now pick the task back up.
+        assert queue.claim() == ("t", {"x": 1})
+
+    def test_reap_spares_fresh_claims(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("fresh", {"x": 1})
+        queue.post("stale", {"x": 2})
+        queue.claim()
+        queue.claim()
+        self.backdate_claim(tmp_path, "stale")
+        assert reap(str(tmp_path), stale_after=60.0, once=True) == 1
+        assert queue.claimed() == ["fresh"]
+        assert queue.pending() == ["stale"]
+
+    def test_reap_rejects_nonpositive_stale_after(self, tmp_path):
+        with pytest.raises(DistributionError, match="stale_after"):
+            reap(str(tmp_path), stale_after=0.0, once=True)
+
+    def test_reap_loop_honours_stop(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()
+        self.backdate_claim(tmp_path, "t")
+        rounds: list = []
+
+        def stop():
+            rounds.append(True)
+            return len(rounds) >= 2
+
+        assert reap(str(tmp_path), stale_after=60.0, poll=0.01,
+                    stop=stop) == 1
+        assert len(rounds) == 2
+
+    def test_worker_main_reap_mode(self, tmp_path, capsys):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()
+        self.backdate_claim(tmp_path, "t")
+        assert worker_main(["--reap", str(tmp_path), "--stale-after", "30",
+                            "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "requeued stale claim: t" in out
+        assert "reaped 1 stale claim(s)" in out
+        assert queue.pending() == ["t"]
+
+    def test_worker_main_reap_rejects_bad_stale_after(self, tmp_path, capsys):
+        assert worker_main(["--reap", str(tmp_path), "--stale-after", "-1",
+                            "--once"]) == 2
+        assert "--stale-after" in capsys.readouterr().err
 
 
 class TestDrain:
