@@ -64,7 +64,16 @@ def test_ablation_bo_vs_random(benchmark, ad_evaluator, record_result, ad):
         f"Random best F1: {rs_result.best_objective:.4f} "
         f"(feasible {rs_result.feasibility_rate():.0%})",
     ]
-    record_result("ablation_bo_vs_random", "\n".join(lines))
+    record_result(
+        "ablation_bo_vs_random", "\n".join(lines),
+        config={"budget": 10, "warmup": 4, "seed": 1},
+        metrics={
+            "bo": {"best_f1": bo_result.best_objective,
+                   "feasibility_rate": bo_result.feasibility_rate()},
+            "random": {"best_f1": rs_result.best_objective,
+                       "feasibility_rate": rs_result.feasibility_rate()},
+        },
+    )
     assert bo_result.best is not None
     # Same budget: the model-guided search should not lose to uniform
     # sampling (ties allowed on this small space).
@@ -91,7 +100,12 @@ def test_ablation_fixed_point_width(benchmark, ad, record_result):
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     text = "\n".join(f"Q{15 - fb}.{fb}: agreement {agr:.3f}" for fb, agr in rows)
-    record_result("ablation_fixed_point", text)
+    record_result(
+        "ablation_fixed_point", text,
+        config={"fraction_bits": [2, 4, 6, 8, 10], "epochs": 15},
+        metrics={"agreement": {f"Q{15 - fb}.{fb}": agr
+                               for fb, agr in rows}},
+    )
     agreements = [agr for _, agr in rows]
     # More fraction bits never hurt much, and the Q7.8 default is >= 97%.
     assert agreements[-2] > 0.97
@@ -118,7 +132,13 @@ def test_ablation_feature_bins(benchmark, tc, record_result):
         f"{bins:>4} bins/feature: {entries:>5} entries, agreement {agr:.3f}"
         for bins, entries, agr in rows
     )
-    record_result("ablation_feature_bins", text)
+    record_result(
+        "ablation_feature_bins", text,
+        config={"bins": [4, 16, 64, 128], "epochs": 20},
+        metrics={"sweep": [{"bins": bins, "entries": entries,
+                            "agreement": agr}
+                           for bins, entries, agr in rows]},
+    )
     agreements = [agr for _, _, agr in rows]
     assert agreements[-1] >= agreements[0]  # finer tables track the model better
     assert agreements[-1] > 0.9

@@ -49,7 +49,18 @@ def test_bnn_vs_dnn_tradeoff(benchmark, ad, record_result):
         f"{'BNN 1-bit':<10}{bnn_f1:>8.2f}{bnn_params:>8}"
         f"{bnn_pipe.resources['cus']:>6}{bnn_pipe.resources['mus']:>6}",
     ]
-    record_result("n2net_bnn_vs_dnn", "\n".join(lines))
+    record_result(
+        "n2net_bnn_vs_dnn", "\n".join(lines),
+        config={"seed": 0, "epochs": 40, "learning_rate": 0.05},
+        metrics={
+            "dnn": {"f1": dnn_f1, "params": dnn_params,
+                    "cus": dnn_pipe.resources["cus"],
+                    "mus": dnn_pipe.resources["mus"]},
+            "bnn": {"f1": bnn_f1, "params": bnn_params,
+                    "cus": bnn_pipe.resources["cus"],
+                    "mus": bnn_pipe.resources["mus"]},
+        },
+    )
     # The N2Net trade: binary compute is much cheaper per parameter...
     dnn_cus_per_param = dnn_pipe.resources["cus"] / dnn_params
     bnn_cus_per_param = bnn_pipe.resources["cus"] / bnn_params

@@ -20,6 +20,13 @@ while every worker keeps serving a looping botnet replay:
    the remaining workers must be untouched.
 4. **instant rollback** — ``POST /rollback`` reverts a healthy worker
    to its previous pipeline with zero drops.
+5. **observability scrape** — ``GET /metrics`` is hit mid-rollout and
+   after it; both bodies must parse as valid Prometheus text exposition,
+   counters must be monotone between the scrapes, a label value packed
+   with quotes/backslashes/newlines must round-trip the wire intact,
+   and the deploy/settle spans must be visible on ``GET /trace``.  The
+   bench forces ``REPRO_OBS=1`` on itself so these gates are
+   deterministic.
 
 Throughout: block-mode ingress, so the zero-drop gate is meaningful —
 ``enqueued == packets + dropped`` must hold on every worker once the
@@ -40,6 +47,15 @@ import dataclasses
 import os
 import sys
 
+# Leg 5 needs span counters on: force before repro.obs caches a tracer,
+# and keep the trace sink under results/ rather than the caller's cwd.
+os.environ["REPRO_OBS"] = "1"
+os.environ.setdefault("REPRO_OBS_DIR", os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "obs"))
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_json_result  # noqa: E402
+
 from repro.backends.taurus import TaurusBackend
 from repro.control import (
     ControlClient,
@@ -52,6 +68,7 @@ from repro.control import (
 from repro.datasets import load_botnet
 from repro.datasets.botnet import flow_label, generate_botnet_flows
 from repro.eval.baselines import train_baseline_dnn
+from repro.obs import get_registry, parse_prometheus
 from repro.runtime import FlowmarkerTracker
 from repro.serving import AsyncStreamEngine, TimedPipeline
 
@@ -109,7 +126,8 @@ async def looping_traffic(packets, labels, stop: asyncio.Event):
         lap += 1
 
 
-async def run_bench(args, lines: list, failures: list) -> None:
+async def run_bench(args, lines: list, failures: list,
+                    obs_summary: dict) -> dict:
     n_workers = 2 if args.smoke else 3
     n_train = 60 if args.smoke else 150
     n_flows = 50 if args.smoke else 120
@@ -173,6 +191,35 @@ async def run_bench(args, lines: list, failures: list) -> None:
         if not got_conflict:
             failures.append("concurrent deploy was not rejected with 409")
 
+        # Leg 5a: scrape /metrics while the slow rollout is in flight.
+        # The in-progress deploy must already be visible (the op counter
+        # bumps at lock-acquire time), and the body must be strictly
+        # parseable Prometheus text.
+        try:
+            scrape_mid = parse_prometheus(await client.metrics())
+        except Exception as exc:
+            scrape_mid = {}
+            failures.append(f"mid-rollout /metrics did not parse: {exc}")
+        ops_mid = sum(
+            value for (name, labels), value in scrape_mid.items()
+            if name == "repro_control_ops_total"
+            and ("op", "deploy") in labels
+        )
+        lines.append(f"mid-rollout scrape: {len(scrape_mid)} samples, "
+                     f"deploy ops counter {ops_mid:.0f}")
+        if ops_mid < 2:  # leg 1's deploy + the in-flight slow deploy
+            failures.append(
+                f"mid-rollout scrape shows {ops_mid:.0f} deploy ops, "
+                f"expected >= 2 (the in-flight rollout must be visible)")
+        served_workers = {
+            labels for (name, labels) in scrape_mid
+            if name == "repro_serving_packets_total"
+        }
+        if len(served_workers) != n_workers:
+            failures.append(
+                f"scrape exposes {len(served_workers)} workers' serving "
+                f"counters, expected {n_workers}")
+
         report = await slow_task
         first = workers[0]
         outcome = report["workers"].get(first.name, {})
@@ -214,12 +261,53 @@ async def run_bench(args, lines: list, failures: list) -> None:
         lines.append(f"fleet totals mid-run: {totals}")
         if totals["dropped"] != 0:
             failures.append(f"fleet dropped {totals['dropped']} packets")
+
+        # Leg 5b: post-rollout scrape — counters monotone vs the
+        # mid-rollout scrape, a hostile label value survives the wire,
+        # and the deploy/settle/rollback spans reached /trace.
+        get_registry().counter(
+            "repro_bench_probe_total", "label-escaping probe",
+            labels=("note",),
+        ).labels(note='quote " slash \\ newline \n done').inc()
+        try:
+            scrape_end = parse_prometheus(await client.metrics())
+        except Exception as exc:
+            scrape_end = {}
+            failures.append(f"post-rollout /metrics did not parse: {exc}")
+        regressions = [
+            name for (name, labels), value in scrape_mid.items()
+            if name.endswith("_total")
+            and value > scrape_end.get((name, labels), float("-inf"))
+        ]
+        if regressions:
+            failures.append(
+                f"counters moved backwards between scrapes: {regressions}")
+        probe = [
+            dict(labels)["note"] for (name, labels) in scrape_end
+            if name == "repro_bench_probe_total"
+        ]
+        if probe != ['quote " slash \\ newline \n done']:
+            failures.append(
+                f"label escaping did not round-trip the wire: {probe!r}")
+        trace_doc = await client.trace()
+        span_names = {event["name"] for event in trace_doc["events"]}
+        missing = {"control.deploy", "control.swap", "control.settle",
+                   "control.rollback"} - span_names
+        if missing:
+            failures.append(f"spans missing from GET /trace: {sorted(missing)}")
+        lines.append(
+            f"post-rollout scrape: {len(scrape_end)} samples monotone, "
+            f"{len(trace_doc['events'])} span events on /trace")
+        obs_summary["scrape_samples"] = len(scrape_end)
+        obs_summary["span_events"] = len(trace_doc["events"])
+        obs_summary["deploy_ops"] = ops_mid
     finally:
         stop.set()
         await asyncio.gather(*(w.task for w in workers))
         await server.stop()
 
     lines.append("")
+    worker_metrics = {}
     for worker in workers:
         stats = worker.engine.stats
         summary = stats.summary()
@@ -228,6 +316,13 @@ async def run_bench(args, lines: list, failures: list) -> None:
             f"{summary['swaps']} swaps, {summary['dropped']} dropped, "
             f"p99 {summary['latency_p99_us'] / 1e3:.1f} ms "
             f"(final version {worker.version})")
+        worker_metrics[worker.name] = {
+            "packets": summary["packets"],
+            "swaps": summary["swaps"],
+            "dropped": summary["dropped"],
+            "latency_p99_us": summary["latency_p99_us"],
+            "final_version": worker.version,
+        }
         if stats.enqueued != stats.packets + stats.dropped:
             failures.append(
                 f"{worker.name}: counters not conserved "
@@ -236,6 +331,7 @@ async def run_bench(args, lines: list, failures: list) -> None:
             failures.append(f"{worker.name}: dropped {stats.dropped}")
         if stats.packets == 0:
             failures.append(f"{worker.name}: served no traffic")
+    return worker_metrics
 
 
 def main(argv=None) -> int:
@@ -249,7 +345,8 @@ def main(argv=None) -> int:
         "-" * 74,
     ]
     failures: list = []
-    asyncio.run(run_bench(args, lines, failures))
+    obs_summary: dict = {}
+    worker_metrics = asyncio.run(run_bench(args, lines, failures, obs_summary))
 
     verdict = "PASS" if not failures else "FAIL: " + "; ".join(failures)
     lines += ["", verdict]
@@ -259,7 +356,14 @@ def main(argv=None) -> int:
     out_path = os.path.join(RESULTS_DIR, "control.txt")
     with open(out_path, "w") as handle:
         handle.write(text + "\n")
-    print(f"(written to {out_path})")
+    json_path = write_json_result(
+        "control",
+        config={"smoke": args.smoke, "batch_size": BATCH_SIZE,
+                "rate_pps": RATE_PPS, "slow_per_batch_s": SLOW_PER_BATCH_S},
+        metrics={"verdict": verdict, "failures": failures,
+                 "workers": worker_metrics, "observability": obs_summary},
+    )
+    print(f"(written to {out_path}; summary {json_path})")
     return 1 if failures else 0
 
 

@@ -17,7 +17,11 @@ def test_fig4_regret(benchmark, record_result):
     result = benchmark.pedantic(
         lambda: run_fig4(budget=20, seed=0, quick=True), rounds=1, iterations=1
     )
-    record_result("fig4", format_fig4(result))
+    record_result("fig4", format_fig4(result),
+                  config={"budget": 20, "seed": 0, "quick": True},
+                  metrics={"f1_scores": result["f1_scores"],
+                           "incumbent": result["incumbent"],
+                           "feasible": result["feasible"]})
     scores = result["f1_scores"]
     feasible = result["feasible"]
     incumbent = [v for v in result["incumbent"] if v is not None]

@@ -15,7 +15,11 @@ def test_fig6_histograms(benchmark, record_result):
     result = benchmark.pedantic(
         lambda: run_fig6(n_flows=400, seed=0), rounds=1, iterations=1
     )
-    record_result("fig6", format_fig6(result))
+    record_result("fig6", format_fig6(result),
+                  config={"n_flows": 400, "seed": 0},
+                  metrics={key: result[key] for key in
+                           ("benign_pl", "malicious_pl",
+                            "benign_ipt", "malicious_ipt")})
     ben_pl = np.array(result["benign_pl"])
     mal_pl = np.array(result["malicious_pl"])
     ben_ipt = np.array(result["benign_ipt"])

@@ -12,7 +12,9 @@ def test_fig7_kmeans_vs_mats(benchmark, record_result):
     result = benchmark.pedantic(
         lambda: run_fig7(budget=12, seed=0, quick=True), rounds=1, iterations=1
     )
-    record_result("fig7", format_fig7(result))
+    record_result("fig7", format_fig7(result),
+                  config={"budget": 12, "seed": 0, "quick": True},
+                  metrics={"series": result["series"]})
     series = result["series"]
     assert set(series) == {f"KMeans{k}" for k in range(1, 6)}
     # Cluster count never exceeds the MAT budget.

@@ -43,16 +43,18 @@ def trained(ad):
     return net, scaler
 
 
-def test_nn_training_epoch(benchmark, ad):
+def test_nn_training_epoch(benchmark, ad, record_bench_json):
     """One epoch of DNN training on the AD dataset (the BO inner loop)."""
     scaler = StandardScaler().fit(ad.train_x)
     X = scaler.transform(ad.train_x)
     y = ad.train_y.astype(float)
     net = NeuralNetwork([7, 16, 8, 1], seed=0)
     benchmark(lambda: net.fit(X, y, epochs=1, learning_rate=0.01))
+    record_bench_json("micro_nn_training_epoch", benchmark,
+                      layers=[7, 16, 8, 1], n_train=800)
 
 
-def test_bo_suggest_step(benchmark):
+def test_bo_suggest_step(benchmark, record_bench_json):
     """One surrogate-fit + acquisition-argmax step over 30 observations."""
     space = DesignSpace([Integer("a", 0, 50), Integer("b", 0, 50), Real("c", 0, 1)])
     optimizer = BayesianOptimizer(
@@ -60,31 +62,38 @@ def test_bo_suggest_step(benchmark):
     )
     result = optimizer.run(30)
     benchmark(lambda: optimizer.suggest(result))
+    record_bench_json("micro_bo_suggest_step", benchmark,
+                      observations=30, warmup=5)
 
 
-def test_taurus_simulator_throughput(benchmark, trained, ad):
+def test_taurus_simulator_throughput(benchmark, trained, ad, record_bench_json):
     """Fixed-point inference of 400 packets through the MapReduce pipeline."""
     net, scaler = trained
     sim = TaurusSimulator(lower_network(net, scaler=scaler))
     benchmark(lambda: sim.predict(ad.test_x))
+    record_bench_json("micro_taurus_simulator", benchmark,
+                      n_packets=len(ad.test_x))
 
 
-def test_bmv2_interpreter_throughput(benchmark, tc):
+def test_bmv2_interpreter_throughput(benchmark, tc, record_bench_json):
     """400 packets through a generated SVM match-action pipeline."""
     scaler = StandardScaler().fit(tc.train_x)
     svm = LinearSVM(seed=0, epochs=15).fit(scaler.transform(tc.train_x), tc.train_y)
     interpreter = MatInterpreter(lower_svm(svm, tc.train_x, scaler=scaler))
     benchmark(lambda: interpreter.predict(tc.test_x))
+    record_bench_json("micro_bmv2_interpreter", benchmark,
+                      n_packets=len(tc.test_x))
 
 
-def test_spatial_codegen_speed(benchmark, trained):
+def test_spatial_codegen_speed(benchmark, trained, record_bench_json):
     """Emitting the Spatial program for a trained DNN."""
     net, scaler = trained
     program = lower_network(net, scaler=scaler, name="bench")
     benchmark(lambda: generate_spatial(program))
+    record_bench_json("micro_spatial_codegen", benchmark)
 
 
-def test_p4_codegen_speed(benchmark, tc):
+def test_p4_codegen_speed(benchmark, tc, record_bench_json):
     """Emitting the P4 program for a trained decision tree."""
     scaler = StandardScaler().fit(tc.train_x)
     tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(
@@ -92,10 +101,12 @@ def test_p4_codegen_speed(benchmark, tc):
     )
     pipeline = lower_tree(tree, scaler=scaler, name="bench")
     benchmark(lambda: generate_p4(pipeline))
+    record_bench_json("micro_p4_codegen", benchmark, max_depth=5)
 
 
-def test_backend_compile_roundtrip(benchmark, trained):
+def test_backend_compile_roundtrip(benchmark, trained, record_bench_json):
     """Full compile_model: lower + codegen + resource/timing estimation."""
     net, scaler = trained
     backend = TaurusBackend()
     benchmark(lambda: backend.compile_model(net, scaler=scaler, name="bench"))
+    record_bench_json("micro_backend_compile", benchmark)

@@ -80,7 +80,13 @@ def test_parallel_engine_speedup(record_result):
             f"histories bit-identical to serial: {identical}",
         ]
     )
-    record_result("parallel_engine", text)
+    record_result(
+        "parallel_engine", text,
+        config={"budget": BUDGET, "n_workers": N_WORKERS,
+                "eval_cost_s": EVAL_COST_S, "families": 2, "seed": 3},
+        metrics={"serial_s": serial_s, "parallel_s": parallel_s,
+                 "speedup": speedup, "identical": identical},
+    )
 
     assert identical, "parallel engine diverged from the serial trajectory"
     assert speedup >= 2.0, f"expected >= 2x speedup, got {speedup:.2f}x"

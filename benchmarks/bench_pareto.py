@@ -38,7 +38,19 @@ def test_pareto_frontier(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("pareto_frontier", format_front(result))
+    record_result(
+        "pareto_frontier", format_front(result),
+        config={"budget": 18, "warmup": 6, "train_epochs": 15, "seed": 0},
+        metrics={
+            "front": [
+                {"resource": e.metrics[result["resource_key"]],
+                 "objective": e.metrics[result["objective_key"]]}
+                for e in result["front"]
+            ],
+            "resource_key": result["resource_key"],
+            "objective_key": result["objective_key"],
+        },
+    )
     front = result["front"]
     assert len(front) >= 2, "frontier should expose a trade-off, not a point"
     resources = [e.metrics[result["resource_key"]] for e in front]

@@ -15,7 +15,13 @@ def test_reaction_time(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("reaction_time", format_reaction_time(result))
+    record_result("reaction_time", format_reaction_time(result),
+                  config={"seed": 0, "quick": True, "max_packets": 16},
+                  metrics={"curve": result["curve"],
+                           "per_packet_latency_ns":
+                               result["per_packet_latency_ns"],
+                           "flow_completion_latency_s":
+                               result["flow_completion_latency_s"]})
     curve = result["curve"]
     assert len(curve) >= 8
     # Already useful after the first packet...

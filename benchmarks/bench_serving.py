@@ -44,6 +44,9 @@ import time
 
 import numpy as np
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_json_result  # noqa: E402
+
 from repro.backends.taurus import TaurusBackend
 from repro.datasets import load_botnet
 from repro.datasets.botnet import flow_label, generate_botnet_flows
@@ -392,7 +395,25 @@ def main(argv=None) -> int:
     out_path = os.path.join(RESULTS_DIR, "serving.txt")
     with open(out_path, "w") as handle:
         handle.write(text + "\n")
-    print(f"(written to {out_path})")
+    json_path = write_json_result(
+        "serving",
+        config={"smoke": args.smoke, "batch_size": BATCH_SIZE,
+                "infer_workers": INFER_WORKERS,
+                "device_per_batch_s": DEVICE_PER_BATCH_S,
+                "max_latency_us": MAX_LATENCY_US,
+                "speedup_target": SPEEDUP_TARGET,
+                "packets": len(packets)},
+        metrics={"verdict": verdict, "failures": failures,
+                 "raw_sync_s": sync_s, "raw_async_s": async_s,
+                 "device_sync_s": timed_sync_s,
+                 "device_async_s": timed_async_s,
+                 "device_speedup": speedup,
+                 "device_bit_identical": bit_identical,
+                 "deadline_p99_us": p99_us,
+                 "swap_dropped": swap_stats.dropped,
+                 "swap_flip_at": flip_at},
+    )
+    print(f"(written to {out_path}; summary {json_path})")
     return 1 if failures else 0
 
 

@@ -143,7 +143,16 @@ def test_sharded_generate_speedup(record_result):
             ),
         ]
     )
-    record_result("sharding", text)
+    record_result(
+        "sharding", text,
+        config={"budget": BUDGET, "warmup": WARMUP, "epochs": EPOCHS,
+                "seed": SEED, "shards": N_SHARDS},
+        metrics={"serial_s": serial_s, "sharded_s": sharded_s,
+                 "speedup": speedup, "identical": identical,
+                 "critical_path_s": stats["critical_path_s"],
+                 "total_work_s": stats["total_work_s"],
+                 "gate_active": gate_active},
+    )
 
     assert identical, "sharded winners diverged from the serial report"
     if gate_active:
@@ -231,7 +240,17 @@ def test_chaos_drainer_death_preserves_bit_identity(record_result):
             f"winning configs bit-identical to serial: {identical}",
         ]
     )
-    record_result("sharding_chaos", text)
+    record_result(
+        "sharding_chaos", text,
+        config={"shards": 2, "drainers": 2, "max_retries": 2,
+                "stale_after": CHAOS_STALE_AFTER,
+                "heartbeat": CHAOS_HEARTBEAT},
+        metrics={"chaotic_s": chaotic_s, "kill_fired": kill_fired,
+                 "fail_fired": fail_fired, "identical": identical,
+                 "retries": ft["retries"],
+                 "task_launches": ft["task_launches"],
+                 "tasks": ft["tasks"]},
+    )
 
     assert kill_fired, "the drainer hard-kill never fired"
     assert fail_fired, "the recorded-failure injection never fired"

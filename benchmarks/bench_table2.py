@@ -24,7 +24,9 @@ def test_table2(benchmark, table2_rows, record_result):
     rows = benchmark.pedantic(
         lambda: table2_rows, rounds=1, iterations=1
     )
-    record_result("table2", format_table2(rows))
+    record_result("table2", format_table2(rows),
+                  config={"budget": BUDGET, "seed": SEED, "quick": True},
+                  metrics={"rows": rows})
     by_key = {(r["app"], r["variant"]): r for r in rows}
     for app in ("ad", "tc", "bd"):
         base = by_key[(app, "baseline")]

@@ -12,7 +12,9 @@ def test_table3(benchmark, record_result):
     rows = benchmark.pedantic(
         lambda: run_table3(budget=8, seed=0, quick=True), rounds=1, iterations=1
     )
-    record_result("table3", format_table3(rows))
+    record_result("table3", format_table3(rows),
+                  config={"budget": 8, "seed": 0, "quick": True},
+                  metrics={"rows": rows})
     cus = {row["cus"] for row in rows}
     mus = {row["mus"] for row in rows}
     assert len(cus) == 1, f"CU usage varies across strategies: {cus}"

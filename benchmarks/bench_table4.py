@@ -12,7 +12,9 @@ def test_table4(benchmark, record_result):
     rows = benchmark.pedantic(
         lambda: run_table4(budget=8, seed=0, quick=True), rounds=1, iterations=1
     )
-    record_result("table4", format_table4(rows))
+    record_result("table4", format_table4(rows),
+                  config={"budget": 8, "seed": 0, "quick": True},
+                  metrics={"rows": rows})
     part1, part2, fused = rows
     assert fused["application"] == "AD: Fused"
     # Fusion must cost far less than the sum of the parts...

@@ -23,7 +23,9 @@ def table5_rows():
 
 def test_table5(benchmark, table5_rows, record_result):
     rows = benchmark.pedantic(lambda: table5_rows, rounds=1, iterations=1)
-    record_result("table5", format_table5(rows))
+    record_result("table5", format_table5(rows),
+                  config={"budget": BUDGET, "seed": SEED, "quick": True},
+                  metrics={"rows": rows})
     by_app = {row["application"]: row for row in rows}
     shell = by_app["Loopback"]
     models = [row for row in rows if row["application"] != "Loopback"]

@@ -4,15 +4,74 @@ Every bench regenerates one table/figure of the paper: it runs the
 experiment through ``pytest-benchmark`` (one round — these are end-to-end
 compiler runs, not microseconds-level kernels) and writes the formatted
 rows to ``benchmarks/results/`` so the artifacts survive the run.
+
+Alongside every human-readable ``<name>.txt`` table, each bench also
+emits a machine-readable ``<name>.json`` summary — one schema for every
+bench, so dashboards and regression tooling can diff runs without
+scraping tables::
+
+    {"name": ..., "config": {...}, "metrics": {...}, "host": {...}}
+
+``write_json_result`` is importable by the standalone (non-pytest)
+benches too; pytest benches get it via the ``record_result`` fixture's
+``config=``/``metrics=`` keywords.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import socket
+import time
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def host_info() -> dict:
+    """Where and when this bench ran — enough to group comparable runs."""
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "timestamp": time.time(),
+    }
+
+
+def _jsonable(value):
+    """Coerce bench payloads (numpy scalars/arrays, tuples) to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # numpy array
+        return _jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def write_json_result(name: str, config: "dict | None" = None,
+                      metrics: "dict | None" = None,
+                      results_dir: str = RESULTS_DIR) -> str:
+    """Write the uniform machine-readable summary; returns its path."""
+    os.makedirs(results_dir, exist_ok=True)
+    doc = {
+        "name": name,
+        "config": _jsonable(config or {}),
+        "metrics": _jsonable(metrics or {}),
+        "host": host_info(),
+    }
+    path = os.path.join(results_dir, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -22,13 +81,39 @@ def results_dir() -> str:
 
 
 @pytest.fixture
-def record_result(results_dir):
-    """Write a formatted experiment table to results/<name>.txt and echo it."""
+def record_bench_json(results_dir):
+    """JSON summary for a pytest-benchmark kernel (timing stats only)."""
 
-    def write(name: str, text: str) -> None:
+    def write(name: str, benchmark, **config) -> str:
+        stats = benchmark.stats.stats
+        return write_json_result(
+            name, config=config,
+            metrics={
+                "mean_s": stats.mean,
+                "median_s": stats.median,
+                "min_s": stats.min,
+                "max_s": stats.max,
+                "stddev_s": stats.stddev,
+                "rounds": stats.rounds,
+            },
+            results_dir=results_dir,
+        )
+
+    return write
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write results/<name>.txt (+ the .json summary) and echo the table."""
+
+    def write(name: str, text: str, config: "dict | None" = None,
+              metrics: "dict | None" = None) -> None:
         path = os.path.join(results_dir, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
-        print(f"\n=== {name} ===\n{text}\n(written to {path})")
+        json_path = write_json_result(name, config, metrics,
+                                      results_dir=results_dir)
+        print(f"\n=== {name} ===\n{text}\n(written to {path}; "
+              f"summary {json_path})")
 
     return write

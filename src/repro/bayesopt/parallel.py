@@ -67,6 +67,8 @@ from repro.bayesopt.cache import EvaluationCache, config_key
 from repro.bayesopt.optimizer import BayesianOptimizer
 from repro.bayesopt.results import OptimizationResult, coerce_evaluation
 from repro.errors import DesignSpaceError
+from repro.obs.registry import enabled as obs_enabled, get_registry
+from repro.obs.trace import get_tracer
 from repro.rng import derive
 
 
@@ -87,6 +89,21 @@ def _seed_process_worker(base_seed: int) -> None:
     """Give each process worker a derived seed for numpy's global RNG."""
     mixed = int(derive(int(base_seed), os.getpid()).integers(0, 2**32))
     np.random.seed(mixed)
+
+
+def _eval_with_span(objective_fn, config: dict):
+    """Run one black-box evaluation under a ``bo.eval`` span.
+
+    Module-level (not a bound method) so the process executor pickles
+    only the objective — never the evaluator.  The span lands on the
+    *worker's* process tracer: thread workers share the caller's, while
+    process workers append to their own sink (line-atomic ``O_APPEND``,
+    so interleaving is safe).  Submitted only when ``REPRO_OBS`` is on;
+    the return value is exactly the objective's, so histories cannot
+    differ from the unwrapped path.
+    """
+    with get_tracer().span("bo.eval"):
+        return objective_fn(config)
 
 
 class ParallelEvaluator:
@@ -173,6 +190,9 @@ class ParallelEvaluator:
         )
         #: round/speculation statistics of the latest :meth:`run`.
         self.stats: dict = {}
+        # Captured once per run() so the per-submit check is one
+        # attribute read, never an environment lookup.
+        self._traced = False
 
     @property
     def space(self):
@@ -194,7 +214,11 @@ class ParallelEvaluator:
         if key in submitted or config in self.cache:
             return
         submitted.add(key)
-        pending.append((config, pool.submit(self.objective_fn, config)))
+        if self._traced:
+            future = pool.submit(_eval_with_span, self.objective_fn, config)
+        else:
+            future = pool.submit(self.objective_fn, config)
+        pending.append((config, future))
 
     def _collect(self, pending: list, required_key: str) -> None:
         """Drain prefetch futures into the cache.
@@ -223,6 +247,7 @@ class ParallelEvaluator:
         opt = self.optimizer
         result = OptimizationResult()
         seen: set = set()
+        self._traced = obs_enabled()
         self.stats = {
             "rounds": 0,
             "evaluated": 0,
@@ -283,13 +308,24 @@ class ParallelEvaluator:
                         )
                         evaluation = self.cache.get(config)
                     else:
-                        evaluation = coerce_evaluation(
-                            config, self.objective_fn(config)
+                        outcome = (
+                            _eval_with_span(self.objective_fn, config)
+                            if self._traced else self.objective_fn(config)
                         )
+                        evaluation = coerce_evaluation(config, outcome)
                         self.stats["evaluated"] += 1
                         self.cache.put(config, evaluation)
                     self._append(result, seen, config, evaluation)
                     break
+        if self._traced:
+            events = get_registry().counter(
+                "repro_bo_events_total",
+                help="parallel-evaluator events (rounds, cache hits, "
+                     "replans, respeculations)",
+                labels=("event",),
+            )
+            for event, count in self.stats.items():
+                events.labels(event=event).inc(count)
         return result
 
     def _respeculate(

@@ -27,6 +27,13 @@ client verbs drive it::
     python -m repro.cli control rollback --port 8300
     python -m repro.cli control split --port 8300 --weights w0=4,w1=1
 
+The ``obs`` subcommand inspects the observability artifacts a
+``REPRO_OBS=1`` run leaves behind (see ``docs/observability.md``)::
+
+    python -m repro.cli obs summary            # metrics snapshot + span counts
+    python -m repro.cli obs tail -n 20         # most recent span events
+    python -m repro.cli obs export -o t.json   # Chrome trace_event export
+
 See ``docs/serving.md`` and ``docs/control.md`` for what each knob does.
 """
 
@@ -344,43 +351,52 @@ def serve_main(argv: "list | None" = None) -> int:
         pacing = "unpaced"
     print(f"replaying {len(packets)} packets across {len(flows)} flows ({pacing})")
 
-    if args.swap_after is not None:
-        import asyncio
+    from repro.obs import flush_obs
 
-        from repro.serving import replay
+    restore_signals = _install_obs_flush()
+    try:
+        if args.swap_after is not None:
+            import asyncio
 
-        print(f"hitless upgrade armed: rolling swap after "
-              f"{args.swap_after} packets")
-        v2 = {
-            name: pipeline
-            for name, pipeline, _ in _build_serve_routes(names, args.seed + 1)
-        }
+            from repro.serving import replay
 
-        async def run_with_swap() -> None:
-            swap_task = None
+            print(f"hitless upgrade armed: rolling swap after "
+                  f"{args.swap_after} packets")
+            v2 = {
+                name: pipeline
+                for name, pipeline, _ in _build_serve_routes(
+                    names, args.seed + 1)
+            }
 
-            async def source():
-                nonlocal swap_task
-                count = 0
-                async for item in replay(packets, labels, speed=args.speed):
-                    yield item
-                    count += 1
-                    if count == args.swap_after:
-                        swap_task = asyncio.create_task(
-                            router.rolling_swap(v2)
-                        )
+            async def run_with_swap() -> None:
+                swap_task = None
 
-            await router.run(source())
-            if swap_task is not None:
-                await swap_task
-                print("rolling swap completed: "
-                      + ", ".join(f"{n} -> v2" for n in sorted(v2)))
-            else:
-                print("stream ended before --swap-after packets; no swap")
+                async def source():
+                    nonlocal swap_task
+                    count = 0
+                    async for item in replay(packets, labels,
+                                             speed=args.speed):
+                        yield item
+                        count += 1
+                        if count == args.swap_after:
+                            swap_task = asyncio.create_task(
+                                router.rolling_swap(v2)
+                            )
 
-        asyncio.run(run_with_swap())
-    else:
-        router.process(packets, labels, speed=args.speed)
+                await router.run(source())
+                if swap_task is not None:
+                    await swap_task
+                    print("rolling swap completed: "
+                          + ", ".join(f"{n} -> v2" for n in sorted(v2)))
+                else:
+                    print("stream ended before --swap-after packets; no swap")
+
+            asyncio.run(run_with_swap())
+        else:
+            router.process(packets, labels, speed=args.speed)
+    finally:
+        flush_obs()
+        restore_signals()
     for name in names:
         stats = router.stats[name]
         summary = stats.summary()
@@ -559,10 +575,16 @@ def _control_serve(args) -> int:
                   f"p99 {summary['latency_p99_us']:.0f} us "
                   f"(version {worker.version})")
 
+    from repro.obs import flush_obs
+
+    restore_signals = _install_obs_flush()
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        flush_obs()
+        restore_signals()
     return 0
 
 
@@ -645,6 +667,190 @@ def control_main(argv: "list | None" = None) -> int:
     return _control_client(action, args)
 
 
+def _install_obs_flush():
+    """SIGINT/SIGTERM -> flush obs artifacts, then normal teardown.
+
+    SIGINT becomes the usual :class:`KeyboardInterrupt` and SIGTERM a
+    :class:`SystemExit`, so ``finally`` blocks (worker drain, server
+    stop) still run — the handler only guarantees the metrics snapshot
+    and trace sink hit disk first, even if teardown later dies.
+
+    Returns a restore callable; no-op outside the main thread (signal
+    handlers can only be installed there).
+    """
+    import signal
+
+    from repro.obs import flush_obs
+
+    def handler(signum, frame):
+        flush_obs()
+        if signum == getattr(signal, "SIGINT", None):
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for name in ("SIGINT", "SIGTERM"):
+        sig = getattr(signal, name, None)
+        if sig is None:
+            continue
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # not the main thread
+            pass
+
+    def restore():
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass
+
+    return restore
+
+
+def build_obs_parser(action: str) -> argparse.ArgumentParser:
+    from repro.obs import obs_dir
+
+    parser = argparse.ArgumentParser(
+        prog=f"repro.cli obs {action}",
+        description="Inspect observability artifacts "
+                    "(see docs/observability.md).",
+    )
+    parser.add_argument(
+        "--dir", default=obs_dir(),
+        help="observability directory (default: $REPRO_OBS_DIR or ./obs)",
+    )
+    if action == "tail":
+        parser.add_argument("-n", "--events", type=int, default=10,
+                            help="how many of the most recent spans to show")
+    elif action == "export":
+        parser.add_argument(
+            "--input", action="append", default=None,
+            help="span JSONL file (repeatable; default: <dir>/trace.jsonl)",
+        )
+        parser.add_argument("-o", "--out", default=None,
+                            help="output path (default: <dir>/trace.json)")
+    return parser
+
+
+def obs_main(argv: "list | None" = None) -> int:
+    """``obs {summary,tail,export}``: read back what a run recorded."""
+    import json
+    import os
+
+    from repro.obs import load_events, to_chrome_trace, validate_chrome_trace
+
+    argv = list(argv or [])
+    actions = ("summary", "tail", "export")
+    if not argv or argv[0] not in actions:
+        print(f"error: obs wants one of {', '.join(actions)}",
+              file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+    args = build_obs_parser(action).parse_args(rest)
+    metrics_path = os.path.join(args.dir, "metrics.json")
+    trace_path = os.path.join(args.dir, "trace.jsonl")
+
+    if action == "summary":
+        found = False
+        if os.path.exists(metrics_path):
+            found = True
+            with open(metrics_path, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            print(f"metrics ({metrics_path}):")
+            for name in sorted(snapshot):
+                family = snapshot[name]
+                for label_key in sorted(family.get("samples", {})):
+                    value = family["samples"][label_key]
+                    if family.get("kind") == "histogram":
+                        value = (f"count={value['count']} "
+                                 f"sum={value['sum']:.6g}")
+                    labels = ",".join(
+                        f"{k}={v}" for k, v in json.loads(label_key))
+                    suffix = f"{{{labels}}}" if labels else ""
+                    print(f"  {name}{suffix} = {value}")
+        if os.path.exists(trace_path):
+            found = True
+            counts: dict = {}
+            total = 0.0
+            for event in load_events(trace_path):
+                counts[event["name"]] = counts.get(event["name"], 0) + 1
+                total += event.get("dur", 0.0)
+            print(f"spans ({trace_path}): {sum(counts.values())} events, "
+                  f"{total:.3f} s total")
+            for name in sorted(counts):
+                print(f"  {name} x {counts[name]}")
+        if not found:
+            print(f"error: nothing recorded under {args.dir!r} "
+                  f"(run with REPRO_OBS=1 first)", file=sys.stderr)
+            return 1
+        return 0
+
+    if action == "tail":
+        if not os.path.exists(trace_path):
+            print(f"error: no trace at {trace_path!r}", file=sys.stderr)
+            return 1
+        events = load_events(trace_path)
+        for event in events[-max(args.events, 0):]:
+            args_doc = event.get("args") or {}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(args_doc.items()))
+            print(f"{event['ts']:.6f} {event['name']} "
+                  f"dur={event['dur'] * 1e3:.3f}ms"
+                  + (f" {detail}" if detail else ""))
+        return 0
+
+    # export: span JSONL -> Chrome trace_event JSON (chrome://tracing).
+    paths = args.input or [trace_path]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no trace at {missing[0]!r}", file=sys.stderr)
+        return 1
+    events: list = []
+    for path in paths:
+        events.extend(load_events(path))
+    doc = to_chrome_trace(events)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    out_path = args.out or os.path.join(args.dir, "trace.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    print(f"{len(doc['traceEvents'])} events -> {out_path}")
+    return 0
+
+
+def _dump_sharded_obs(out, shard_dir: "str | None") -> None:
+    """Write the merged cross-shard obs artifacts after a sharded run.
+
+    Spans pooled from every shard land as a Chrome trace plus the merged
+    metrics snapshot under the obs dir, so ``cli obs summary`` and
+    ``chrome://tracing`` both work on a fleet run.
+    """
+    import json
+    import os
+
+    from repro.fsio import atomic_write_json
+    from repro.obs import obs_dir, to_chrome_trace
+
+    obs = getattr(out, "obs", None) or {}
+    spans = obs.get("spans") or []
+    if not spans:
+        return
+    directory = obs_dir()
+    os.makedirs(directory, exist_ok=True)
+    atomic_write_json(os.path.join(directory, "metrics.json"),
+                      obs.get("metrics", {}))
+    trace_path = os.path.join(directory, "trace.json")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(spans), handle, indent=1, sort_keys=True)
+    timeline = obs.get("timeline", {})
+    print(f"obs: {len(spans)} spans from {len(timeline.get('shards', []))} "
+          f"shard(s) -> {directory} (critical path "
+          f"{timeline.get('critical_path_s', 0.0):.3f} s)")
+
+
 def _sharded_main(args) -> int:
     """The distributed generate path: RunSpec -> run_sharded -> report."""
     from repro.distrib import DatasetRef, ModelEntry, RunSpec, make_launcher, run_sharded
@@ -692,6 +898,7 @@ def _sharded_main(args) -> int:
         granularity=args.granularity or "unit", max_retries=args.max_retries,
     )
     print(out.summary())
+    _dump_sharded_obs(out, args.shard_dir)
     best = out.report.best
     if best is not None:
         print(f"config: {best.best_config}")
@@ -707,6 +914,8 @@ def main(argv: "list | None" = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "control":
         return control_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)

@@ -42,9 +42,13 @@ class ControlClient:
         on any other non-2xx status (message carries the server's
         ``error``/``detail`` fields).
         """
-        status, doc = await asyncio.wait_for(
+        status, raw = await asyncio.wait_for(
             self._exchange(method, path, body), self.timeout
         )
+        try:
+            doc = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ControlError(f"malformed response body: {exc}") from exc
         if status == 409:
             raise DeployConflict(doc.get("detail", "conflict"))
         if status >= 400:
@@ -53,6 +57,29 @@ class ControlClient:
                 f"{doc.get('detail', doc.get('error', 'unknown'))}"
             )
         return doc
+
+    async def request_text(self, method: str, path: str) -> str:
+        """One HTTP exchange returning the raw (non-JSON) response body.
+
+        For text endpoints — ``GET /metrics`` serves the Prometheus
+        exposition format, not JSON.  Error statuses still arrive as
+        JSON and map to the usual exceptions.
+        """
+        status, raw = await asyncio.wait_for(
+            self._exchange(method, path, None), self.timeout
+        )
+        if status >= 400:
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                doc = {}
+            if status == 409:
+                raise DeployConflict(doc.get("detail", "conflict"))
+            raise ControlError(
+                f"{method} {path} -> {status}: "
+                f"{doc.get('detail', doc.get('error', 'unknown'))}"
+            )
+        return raw.decode("utf-8")
 
     async def _exchange(self, method: str, path: str, body):
         payload = json.dumps(body).encode() if body is not None else b""
@@ -79,11 +106,7 @@ class ControlClient:
         parts = status_line.split()
         if len(parts) < 2 or not parts[1].isdigit():
             raise ControlError(f"malformed response: {status_line!r}")
-        try:
-            doc = json.loads(rest) if rest else {}
-        except json.JSONDecodeError as exc:
-            raise ControlError(f"malformed response body: {exc}") from exc
-        return int(parts[1]), doc
+        return int(parts[1]), rest
 
     # -- endpoint helpers ------------------------------------------------
     async def fleet(self) -> dict:
@@ -109,3 +132,11 @@ class ControlClient:
         """``POST /traffic-split``: adjust per-worker weights live."""
         return await self.request("POST", "/traffic-split",
                                   {"weights": dict(weights)})
+
+    async def metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition body."""
+        return await self.request_text("GET", "/metrics")
+
+    async def trace(self) -> dict:
+        """``GET /trace``: the server's buffered span events."""
+        return await self.request("GET", "/trace")

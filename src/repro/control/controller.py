@@ -33,6 +33,8 @@ import asyncio
 
 from repro.control.telemetry import RegressionGate, window_metrics
 from repro.errors import ControlError, DeployConflict
+from repro.obs.registry import get_registry
+from repro.obs.trace import get_tracer
 from repro.serving.router import ROUTE_QUANTUM
 
 _ZERO = {"packets": 0, "enqueued": 0, "dropped": 0,
@@ -168,6 +170,13 @@ class FleetController:
                 f"{op} rejected: {self._busy} already in progress"
             )
         self._busy = op
+        # Counted at acquire time (not completion) so a /metrics scrape
+        # *during* a rollout already shows the mutation in flight.
+        get_registry().counter(
+            "repro_control_ops_total",
+            help="control-plane mutations by operation",
+            labels=("op",),
+        ).labels(op=op.split(":", 1)[0]).inc()
 
     def _log(self, event: str, **fields) -> None:
         self.events.append({"event": event, **fields})
@@ -226,32 +235,40 @@ class FleetController:
         report = {"version": version, "ok": True, "aborted_at": None,
                   "reason": None, "upgraded": [], "rolled_back": [],
                   "skipped": [], "workers": {}}
+        tracer = get_tracer()
         try:
-            for worker in targets:
-                if worker.version == version:
-                    report["skipped"].append(worker.name)
-                    report["workers"][worker.name] = {"action": "skipped"}
-                    continue
-                if not worker.alive():
-                    self._abort(report, worker, "worker dead before swap")
+            with tracer.span("control.deploy", version=version,
+                             targets=len(targets)):
+                for worker in targets:
+                    if worker.version == version:
+                        report["skipped"].append(worker.name)
+                        report["workers"][worker.name] = {"action": "skipped"}
+                        continue
+                    if not worker.alive():
+                        self._abort(report, worker, "worker dead before swap")
+                        break
+                    outcome = await self._deploy_one(worker, version,
+                                                     pipeline, gate, tracer)
+                    report["workers"][worker.name] = outcome
+                    if outcome["action"] == "upgraded":
+                        report["upgraded"].append(worker.name)
+                        continue
+                    report["rolled_back"].append(worker.name)
+                    report["ok"] = False
+                    report["aborted_at"] = worker.name
+                    report["reason"] = outcome["reason"]
                     break
-                outcome = await self._deploy_one(worker, version, pipeline,
-                                                 gate)
-                report["workers"][worker.name] = outcome
-                if outcome["action"] == "upgraded":
-                    report["upgraded"].append(worker.name)
-                    continue
-                report["rolled_back"].append(worker.name)
-                report["ok"] = False
-                report["aborted_at"] = worker.name
-                report["reason"] = outcome["reason"]
-                break
-            for worker in targets:
-                report["workers"].setdefault(
-                    worker.name, {"action": "untouched"})
+                for worker in targets:
+                    report["workers"].setdefault(
+                        worker.name, {"action": "untouched"})
             self._log("deploy", version=version, ok=report["ok"],
                       aborted_at=report["aborted_at"],
                       reason=report["reason"])
+            get_registry().counter(
+                "repro_control_deploys_total",
+                help="finished rolling deploys by outcome",
+                labels=("outcome",),
+            ).labels(outcome="ok" if report["ok"] else "aborted").inc()
             return report
         finally:
             self._busy = None
@@ -262,8 +279,10 @@ class FleetController:
         report["reason"] = reason
         report["workers"][worker.name] = {"action": "aborted", "reason": reason}
 
-    async def _deploy_one(self, worker, version: str, pipeline, gate) -> dict:
+    async def _deploy_one(self, worker, version: str, pipeline, gate,
+                          tracer=None) -> dict:
         """Upgrade one worker under the gate; roll it back on regression."""
+        tracer = tracer if tracer is not None else get_tracer()
         engine = worker.engine
         stats = engine.stats
         swap_t = engine.clock.now()
@@ -272,9 +291,10 @@ class FleetController:
         # samples at or before swap_t, counter deltas from zero.
         pre = window_metrics(stats.latency_series.window(until=swap_t),
                              _ZERO, pre_counters)
-        engine.swap_pipeline(pipeline)
-        worker.set_version(version)
-        await engine.drain_inflight()
+        with tracer.span("control.swap", worker=worker.name, version=version):
+            engine.swap_pipeline(pipeline)
+            worker.set_version(version)
+            await engine.drain_inflight()
 
         # Settle on *recorded* post-swap batches — the latency ring gains
         # one sample per batch at record time, after inference completes,
@@ -283,16 +303,18 @@ class FleetController:
         loop = asyncio.get_running_loop()
         deadline = loop.time() + gate.settle_s
         died = False
-        while True:
-            fresh = int(stats.latency_series.window(since=swap_t).size)
-            if fresh >= gate.min_batches:
-                break
-            if not worker.alive():
-                died = True
-                break
-            if loop.time() >= deadline:
-                break
-            await asyncio.sleep(gate.poll_s)
+        with tracer.span("control.settle", worker=worker.name,
+                         version=version):
+            while True:
+                fresh = int(stats.latency_series.window(since=swap_t).size)
+                if fresh >= gate.min_batches:
+                    break
+                if not worker.alive():
+                    died = True
+                    break
+                if loop.time() >= deadline:
+                    break
+                await asyncio.sleep(gate.poll_s)
 
         post_counters = stats.counters()
         if died or fresh < gate.min_batches:
@@ -300,18 +322,20 @@ class FleetController:
                       f"insufficient post-swap traffic "
                       f"({fresh}/{gate.min_batches} batches in "
                       f"{gate.settle_s:g}s)")
-            engine.rollback_pipeline()
-            worker.rollback_version()
-            await engine.drain_inflight()
+            with tracer.span("control.rollback", worker=worker.name):
+                engine.rollback_pipeline()
+                worker.rollback_version()
+                await engine.drain_inflight()
             return {"action": "rolled-back", "reason": reason, "verdict": None}
 
         post = window_metrics(stats.latency_series.window(since=swap_t),
                               pre_counters, post_counters)
         verdict = gate.compare(pre, post)
         if verdict["regressed"]:
-            engine.rollback_pipeline()
-            worker.rollback_version()
-            await engine.drain_inflight()
+            with tracer.span("control.rollback", worker=worker.name):
+                engine.rollback_pipeline()
+                worker.rollback_version()
+                await engine.drain_inflight()
             return {"action": "rolled-back",
                     "reason": "; ".join(verdict["reasons"]),
                     "verdict": verdict}
@@ -327,15 +351,17 @@ class FleetController:
         """
         targets = self._named_workers(workers)
         self._acquire("rollback")
+        tracer = get_tracer()
         try:
             reverted, skipped = [], []
             for worker in targets:
                 if worker.engine.previous_pipeline is None:
                     skipped.append(worker.name)
                     continue
-                worker.engine.rollback_pipeline()
-                worker.rollback_version()
-                await worker.engine.drain_inflight()
+                with tracer.span("control.rollback", worker=worker.name):
+                    worker.engine.rollback_pipeline()
+                    worker.rollback_version()
+                    await worker.engine.drain_inflight()
                 reverted.append(worker.name)
             self._log("rollback", reverted=reverted, skipped=skipped)
             return {"ok": True, "reverted": reverted, "skipped": skipped}

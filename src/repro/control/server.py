@@ -8,11 +8,22 @@ endpoints, JSON bodies, one response per connection.
 method    path             body / effect
 ========  ===============  ================================================
 GET       /fleet           -> fleet snapshot (totals, workers, series)
+GET       /metrics         -> Prometheus text exposition: the process
+                           registry plus every worker's serving counters
+                           collected at scrape time
+GET       /trace           -> buffered span events as JSON (empty unless
+                           ``REPRO_OBS`` is set)
 POST      /deploy          ``{"version": "v2", "gate": {...}?,
                            "workers": [...]?}`` -> rolling gated swap
 POST      /rollback        ``{"workers": [...]?}`` -> instant revert
 POST      /traffic-split   ``{"weights": {"w0": 4, ...}}`` -> new weights
 ========  ===============  ================================================
+
+``/metrics`` is scrape-friendly during a rollout: deploy/settle spans
+and the ``repro_control_ops_total`` counter are visible mid-deploy, and
+serving counters come from a pull-model collector over the live
+:class:`~repro.serving.stats.ServingStats` — so the endpoint is useful
+even with observability off, and the packet path never pays for it.
 
 Errors map onto status codes: a mutation racing an in-progress rollout
 is ``409 Conflict`` (:class:`DeployConflict`), a bad request —
@@ -35,20 +46,31 @@ import json
 
 from repro.control.telemetry import RegressionGate
 from repro.errors import ControlError, DeployConflict, HomunculusError
+from repro.obs.collectors import fleet_samples
+from repro.obs.registry import get_registry, render_prometheus
+from repro.obs.trace import get_tracer
 
 #: Cap on accepted request bodies; control messages are tiny.
 MAX_BODY = 1 << 20
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 409: "Conflict",
                 413: "Payload Too Large", 500: "Internal Server Error"}
 
 
-def _response(status: int, doc: dict) -> bytes:
-    body = json.dumps(doc).encode()
+def _response(status: int, doc,
+              content_type: str = "application/json") -> bytes:
+    """Render one response; ``doc`` is a JSON-able object or raw text."""
+    if isinstance(doc, str):
+        body = doc.encode("utf-8")
+    else:
+        body = json.dumps(doc).encode()
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )
@@ -91,11 +113,13 @@ class ControlServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            status, doc = await self._respond(reader)
+            outcome = await self._respond(reader)
         except Exception as exc:  # never let a handler kill the server
-            status, doc = 500, {"error": "internal", "detail": str(exc)}
+            outcome = (500, {"error": "internal", "detail": str(exc)})
+        status, doc = outcome[0], outcome[1]
+        content_type = outcome[2] if len(outcome) > 2 else "application/json"
         try:
-            writer.write(_response(status, doc))
+            writer.write(_response(status, doc, content_type))
             await writer.drain()
         finally:
             writer.close()
@@ -154,6 +178,19 @@ class ControlServer:
             if method != "GET":
                 return 405, {"error": "method", "detail": "GET /fleet"}
             return 200, controller.fleet()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method", "detail": "GET /metrics"}
+            text = render_prometheus(
+                get_registry().snapshot(),
+                extra_samples=fleet_samples(controller.workers),
+            )
+            return 200, text, PROMETHEUS_CONTENT_TYPE
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "method", "detail": "GET /trace"}
+            tracer = get_tracer()
+            return 200, {"events": list(tracer.events)}
         if path == "/deploy":
             if method != "POST":
                 return 405, {"error": "method", "detail": "POST /deploy"}

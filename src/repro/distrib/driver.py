@@ -39,6 +39,7 @@ import tempfile
 from dataclasses import replace
 
 from repro.errors import DistributionError
+from repro.obs.trace import get_tracer
 
 from repro.distrib.launchers import (
     InProcessLauncher,
@@ -112,10 +113,12 @@ def run_sharded(
             f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
         )
     launcher = launcher if launcher is not None else InProcessLauncher()
+    tracer = get_tracer()  # NULL_TRACER unless REPRO_OBS is set
 
     datasets: dict = {}
-    units = plan_units(spec, datasets=datasets)
-    tasks = plan_tasks(units, shards, granularity=granularity)
+    with tracer.span("distrib.plan", shards=shards, granularity=granularity):
+        units = plan_units(spec, datasets=datasets)
+        tasks = plan_tasks(units, shards, granularity=granularity)
 
     tmp = None
     needs_dir = getattr(launcher, "name", "") in ("subprocess", "workqueue")
@@ -129,7 +132,14 @@ def run_sharded(
         launches = 0
         pending = list(tasks)
         while pending:
-            outcomes = launcher.launch(spec, pending, shard_dir, width=shards)
+            with tracer.span(
+                "distrib.launch",
+                launcher=getattr(launcher, "name", type(launcher).__name__),
+                tasks=len(pending),
+            ):
+                outcomes = launcher.launch(
+                    spec, pending, shard_dir, width=shards
+                )
             launches += len(pending)
             if len(outcomes) != len(pending):
                 raise DistributionError(
@@ -169,7 +179,8 @@ def run_sharded(
             pending = retry
 
         shard_results = [accepted[task.index] for task in tasks]
-        merged = merge_results(spec, shard_results, datasets=datasets)
+        with tracer.span("distrib.merge", tasks=len(tasks)):
+            merged = merge_results(spec, shard_results, datasets=datasets)
         merged.stats["fault_tolerance"] = {
             "granularity": granularity,
             "max_retries": max_retries,

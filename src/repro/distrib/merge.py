@@ -42,6 +42,7 @@ from repro.core.pareto import PRIMARY_RESOURCE
 from repro.core.reports import CompileReport
 from repro.errors import DistributionError
 from repro.fsio import sweep_orphan_tmp
+from repro.obs.registry import merge_snapshots
 
 from repro.distrib.runspec import RunSpec
 from repro.distrib.scheduler import plan_units, unit_model_seed
@@ -53,6 +54,7 @@ __all__ = [
     "merge_spills",
     "merge_shard_spill_dirs",
     "aggregate_stats",
+    "merge_obs",
 ]
 
 
@@ -146,6 +148,51 @@ def aggregate_stats(shard_results: list) -> dict:
     }
 
 
+def merge_obs(shard_results: list) -> dict:
+    """Fold per-shard observability payloads into one fleet view.
+
+    Returns ``{"spans", "metrics", "timeline"}``: every shard's span
+    events pooled onto one wall-clock timeline (shards stamp spans with
+    :func:`time.time`, so cross-process events line up), the merged
+    metrics snapshot (counters and histograms sum — the per-unit span
+    count check in the acceptance tests reads
+    ``repro_spans_total{name="distrib.unit"}`` here), and a
+    critical-path summary per shard.  All three are empty when the run
+    was untraced — ``REPRO_OBS`` unset ships empty payloads.
+    """
+    spans: list = []
+    snapshots: list = []
+    lanes: list = []
+    for shard in sorted(shard_results, key=lambda s: (s.index, s.attempt)):
+        spans.extend(shard.spans)
+        if shard.metrics:
+            snapshots.append(shard.metrics)
+        if shard.spans:
+            lanes.append({
+                "shard": shard.index,
+                "attempt": shard.attempt,
+                "spans": len(shard.spans),
+                "start": min(e["ts"] for e in shard.spans),
+                "end": max(e["ts"] + e["dur"] for e in shard.spans),
+                "busy_s": sum(e["dur"] for e in shard.spans
+                              if e["name"] == "distrib.unit"),
+            })
+    spans.sort(key=lambda e: (e["ts"], e.get("pid", 0), e.get("tid", 0)))
+    timeline: dict = {"shards": lanes}
+    if lanes:
+        start = min(lane["start"] for lane in lanes)
+        end = max(lane["end"] for lane in lanes)
+        timeline["wall_s"] = end - start
+        timeline["critical_path_s"] = max(
+            lane["end"] - lane["start"] for lane in lanes
+        )
+    return {
+        "spans": spans,
+        "metrics": merge_snapshots(snapshots),
+        "timeline": timeline,
+    }
+
+
 @dataclass
 class DistributedReport:
     """What a sharded search hands back: the serial report plus the
@@ -157,6 +204,9 @@ class DistributedReport:
     stats: dict = field(default_factory=dict)
     cache: "EvaluationCache | None" = None
     shard_results: list = field(default_factory=list)
+    #: :func:`merge_obs` output — fleet spans/metrics/timeline (empty
+    #: unless the run was traced with ``REPRO_OBS``).
+    obs: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """The serial compile summary plus shard accounting."""
@@ -296,6 +346,7 @@ def merge_results(
         fronts=fronts,
         stats=aggregate_stats(shard_results),
         shard_results=list(shard_results),
+        obs=merge_obs(shard_results),
     )
 
 

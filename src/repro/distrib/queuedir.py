@@ -52,10 +52,23 @@ import time
 
 from repro.errors import DistributionError
 from repro.fsio import atomic_write_json
+from repro.obs.registry import get_registry
 
 __all__ = ["WorkQueue", "worker_id"]
 
 _SUBDIRS = ("tasks", "claimed", "results", "failed")
+
+#: Probe file the queue touches to read the *filesystem's* clock.
+_NOW_PROBE = ".now-probe"
+
+
+def _count(event: str) -> None:
+    """Bump the queue-event counter (no-op unless ``REPRO_OBS``)."""
+    get_registry().counter(
+        "repro_queue_events_total",
+        help="work-queue protocol events by type",
+        labels=("event",),
+    ).labels(event=event).inc()
 
 
 def worker_id() -> str:
@@ -97,10 +110,33 @@ class WorkQueue:
             if entry.endswith(".json")
         )
 
+    def fs_now(self) -> float:
+        """The queue filesystem's idea of "now", as an mtime.
+
+        Claim heartbeats are mtimes written by *other machines* through
+        a shared filesystem, so comparing them against the local
+        :func:`time.time` bakes any cross-machine clock skew straight
+        into staleness decisions — a worker whose NFS server runs a
+        minute ahead looks dead the moment it claims.  Instead, touch a
+        probe file in the queue root and read back the mtime the
+        filesystem assigned: that is the same clock that stamps every
+        heartbeat, so skew cancels out.  Falls back to ``time.time()``
+        only if the probe cannot be written (read-only observer).
+        """
+        probe = os.path.join(self.root, _NOW_PROBE)
+        try:
+            with open(probe, "w"):
+                pass
+            return os.path.getmtime(probe)
+        except OSError:
+            return time.time()
+
     # -- driver side --------------------------------------------------------
     def post(self, name: str, payload: dict) -> str:
         """Publish a task; visible to workers the moment it lands."""
-        return self._write_atomic("tasks", name, payload)
+        path = self._write_atomic("tasks", name, payload)
+        _count("post")
+        return path
 
     def pending(self) -> list:
         """Task names not yet claimed."""
@@ -141,6 +177,7 @@ class WorkQueue:
         """
         try:
             os.rename(self._path("claimed", name), self._path("tasks", name))
+            _count("requeue")
             return True
         except FileNotFoundError:
             return False
@@ -157,6 +194,7 @@ class WorkQueue:
         for sub in ("tasks", "claimed"):
             try:
                 os.unlink(self._path(sub, name))
+                _count("discard")
                 return True
             except FileNotFoundError:
                 continue
@@ -170,8 +208,13 @@ class WorkQueue:
         the orphaned-task signal :class:`~repro.distrib.launchers.
         ReaperThread` feeds to :meth:`requeue_stale`.  ``older_than``
         must comfortably exceed the worker heartbeat interval.
+
+        "Now" comes from :meth:`fs_now` — the queue filesystem's own
+        clock — not the local wall clock, so heartbeats written by
+        machines with skewed clocks are judged on the clock that
+        actually stamped them.
         """
-        now = time.time()
+        now = self.fs_now()
         stale = []
         for name in self._names("claimed"):
             try:
@@ -206,9 +249,12 @@ class WorkQueue:
                 pass  # completed out from under us already; harmless
             try:
                 with open(dst) as handle:
-                    return name, json.load(handle)
+                    payload = json.load(handle)
             except (OSError, json.JSONDecodeError) as exc:
                 self.fail(name, f"unreadable task payload: {exc}")
+                continue
+            _count("claim")
+            return name, payload
         return None
 
     def touch(self, name: str) -> bool:
@@ -233,6 +279,7 @@ class WorkQueue:
         claimed = self._path("claimed", name)
         if os.path.exists(claimed):
             os.unlink(claimed)
+        _count("complete")
         return path
 
     def fail(self, name: str, error: str) -> str:
@@ -254,6 +301,7 @@ class WorkQueue:
         )
         if os.path.exists(claimed):
             os.unlink(claimed)
+        _count("fail")
         return path
 
     # -- bookkeeping --------------------------------------------------------

@@ -42,8 +42,11 @@ from repro.bayesopt.scalarization import pareto_front
 from repro.core.compiler import _search_one_family
 from repro.core.pareto import PRIMARY_RESOURCE
 from repro.fsio import atomic_write_json
+from repro.obs import flush_obs
+from repro.obs.registry import MetricsRegistry, enabled as obs_enabled
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
 
-from repro.distrib.queuedir import WorkQueue
+from repro.distrib.queuedir import WorkQueue, worker_id
 from repro.distrib.runspec import RunSpec
 from repro.distrib.scheduler import ShardSpec, unit_family_seed, unit_model_seed
 
@@ -228,6 +231,14 @@ class ShardResult:
 
     ``attempt`` echoes the task's retry generation (0 = first launch)
     so the driver's bookkeeping can tell which attempt finally landed.
+
+    ``spans`` and ``metrics`` carry the shard's observability payload
+    when ``REPRO_OBS`` is set: span events from a tracer *local to the
+    :func:`run_shard` call* (so thread- and subprocess-launched shards
+    ship identical shapes) and the matching registry snapshot.  The
+    merge layer folds them into a fleet-wide timeline and a single
+    metrics snapshot.  Both default empty, so pre-observability result
+    payloads still deserialize.
     """
 
     index: int
@@ -235,6 +246,8 @@ class ShardResult:
     units: list = field(default_factory=list)  # [UnitResult]
     elapsed_s: float = 0.0
     attempt: int = 0
+    spans: list = field(default_factory=list)    # [trace event dict]
+    metrics: dict = field(default_factory=dict)  # MetricsRegistry.snapshot()
 
     def to_dict(self) -> dict:
         return {
@@ -243,6 +256,8 @@ class ShardResult:
             "units": [u.to_dict() for u in self.units],
             "elapsed_s": self.elapsed_s,
             "attempt": self.attempt,
+            "spans": list(self.spans),
+            "metrics": dict(self.metrics),
         }
 
     @staticmethod
@@ -253,6 +268,8 @@ class ShardResult:
             units=[UnitResult.from_dict(u) for u in doc.get("units", [])],
             elapsed_s=float(doc.get("elapsed_s", 0.0)),
             attempt=int(doc.get("attempt", 0)),
+            spans=list(doc.get("spans", [])),
+            metrics=dict(doc.get("metrics", {})),
         )
 
 
@@ -265,7 +282,20 @@ def run_shard(
     (launchers give each shard its own directory so concurrent shards
     never interleave; the driver merges afterwards).  Defaults to the
     spec's ``cache_dir``.
+
+    With ``REPRO_OBS`` set, each unit runs under a ``distrib.unit``
+    span recorded by a tracer and registry local to this call — never
+    the process-wide ones, so the observability payload riding home in
+    :class:`ShardResult` is identical whether the launcher is a thread,
+    a subprocess, or a remote drainer.  Clock reads are the only side
+    effect: seeds, trajectories, and histories are untouched.
     """
+    if obs_enabled():
+        registry = MetricsRegistry()
+        tracer = Tracer(counter_registry=registry)
+    else:
+        registry = None
+        tracer = NULL_TRACER
     started = time.perf_counter()
     platform = PlatformSpec(spec.target)
     if spec.performance:
@@ -288,23 +318,31 @@ def run_shard(
         model_seed = unit_model_seed(spec, unit.model_index)
         family_seed = unit_family_seed(model_seed, unit.family_index, unit.start)
         unit_started = time.perf_counter()
-        engine, evaluator, result = _search_one_family(
-            model,
-            dataset,
-            backend,
-            constraints,
-            unit.algorithm,
-            unit.family_index,
-            budget=spec.budget,
-            warmup=spec.warmup,
-            train_epochs=spec.train_epochs,
-            seed=model_seed,
-            n_workers=spec.n_workers,
-            batch_size=spec.batch_size,
-            cache_dir=spill_dir,
-            executor=spec.executor,
-            family_seed=family_seed,
-        )
+        with tracer.span(
+            "distrib.unit",
+            shard=shard.index,
+            model=unit.model_name,
+            family=unit.family_index,
+            algorithm=unit.algorithm,
+            start=unit.start,
+        ):
+            engine, evaluator, result = _search_one_family(
+                model,
+                dataset,
+                backend,
+                constraints,
+                unit.algorithm,
+                unit.family_index,
+                budget=spec.budget,
+                warmup=spec.warmup,
+                train_epochs=spec.train_epochs,
+                seed=model_seed,
+                n_workers=spec.n_workers,
+                batch_size=spec.batch_size,
+                cache_dir=spill_dir,
+                executor=spec.executor,
+                family_seed=family_seed,
+            )
         results.append(
             UnitResult(
                 model_index=unit.model_index,
@@ -325,12 +363,23 @@ def run_shard(
                 elapsed_s=time.perf_counter() - unit_started,
             )
         )
+    if registry is not None:
+        bo = registry.counter(
+            "repro_bo_events_total",
+            help="parallel-evaluator events summed across units",
+            labels=("event",),
+        )
+        for unit_result in results:
+            for event, count in (unit_result.stats or {}).items():
+                bo.labels(event=event).inc(count)
     return ShardResult(
         index=shard.index,
         n_shards=shard.n_shards,
         units=results,
         elapsed_s=time.perf_counter() - started,
         attempt=shard.attempt,
+        spans=tracer.drain() if registry is not None else [],
+        metrics=registry.snapshot() if registry is not None else {},
     )
 
 
@@ -369,6 +418,7 @@ def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0,
     launcher).  Returns how many tasks this worker completed.
     """
     queue = WorkQueue(queue_dir)
+    tracer = get_tracer()  # NULL_TRACER unless REPRO_OBS is set
     done = 0
     idle_since: "float | None" = None
     while True:
@@ -387,7 +437,8 @@ def drain(queue_dir: str, poll: float = 0.2, max_idle: float = 0.0,
         idle_since = None
         name, payload = claim
         try:
-            with ClaimHeartbeat(queue, name, heartbeat):
+            with ClaimHeartbeat(queue, name, heartbeat), \
+                    tracer.span("distrib.task", task=name, worker=worker_id()):
                 queue.complete(
                     name,
                     run_task_payload(payload, allow_chaos_kill=allow_chaos_kill),
@@ -481,7 +532,12 @@ def main(argv: "list | None" = None) -> int:
             return 2
         with open(args.task) as handle:
             payload = json.load(handle)
-        atomic_write_json(args.out, run_task_payload(payload, allow_chaos_kill=True))
+        try:
+            atomic_write_json(
+                args.out, run_task_payload(payload, allow_chaos_kill=True)
+            )
+        finally:
+            flush_obs()
         return 0
     if args.reap:
         if args.stale_after <= 0:
@@ -496,8 +552,11 @@ def main(argv: "list | None" = None) -> int:
             return 0
         print(f"reaped {reaped} stale claim(s) from {args.reap}")
         return 0
-    completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle,
-                      heartbeat=args.heartbeat, allow_chaos_kill=True)
+    try:
+        completed = drain(args.drain, poll=args.poll, max_idle=args.max_idle,
+                          heartbeat=args.heartbeat, allow_chaos_kill=True)
+    finally:
+        flush_obs()
     print(f"drained {completed} task(s) from {args.drain}")
     return 0
 

@@ -50,6 +50,7 @@ from typing import AsyncIterator, Iterable
 import numpy as np
 
 from repro.errors import HomunculusError
+from repro.obs.trace import NULL_TRACER, get_tracer
 from repro.serving.batching import MicroBatcher
 from repro.serving.channel import SENTINEL, BoundedChannel, PriorityChannel
 from repro.serving.clock import YIELD_EVERY, VirtualClock, WallClock, replay
@@ -179,6 +180,11 @@ class AsyncStreamEngine:
         #: so a controller can :meth:`rollback_pipeline` instantly.
         self.previous_pipeline = None
         self._inflight: set = set()
+        # Tracer captured once per run(); the per-*packet* stages
+        # (_ingest/_extract) contain no observability calls at all —
+        # spans are per inference batch only, so tracing off costs the
+        # packet path literally nothing.
+        self._tracer = NULL_TRACER
 
     def _on_flush(self, rows: int, deadline: bool) -> None:
         self.stats.observe_batch(rows, deadline)
@@ -379,12 +385,16 @@ class AsyncStreamEngine:
         inflight = self._inflight
         sequence = 0
 
+        tracer = self._tracer
+
         async def serve(seq: int, batch: list, predict) -> None:
             try:
                 rows = np.stack([row for row, _, _, _ in batch])
-                predictions = await loop.run_in_executor(
-                    self._executor, predict, rows
-                )
+                with tracer.span("serving.infer", rows=len(batch),
+                                 generation=self.pipeline_generation):
+                    predictions = await loop.run_in_executor(
+                        self._executor, predict, rows
+                    )
                 await q_done.put((seq, batch, predictions))
             finally:
                 gate.release()
@@ -460,6 +470,7 @@ class AsyncStreamEngine:
         # packet.
         q_done: asyncio.Queue = asyncio.Queue()
         out: list = []
+        self._tracer = get_tracer()  # NULL_TRACER unless REPRO_OBS is set
         self.stats.started_at = self.clock.now()
         self._executor = ThreadPoolExecutor(
             max_workers=self.infer_workers,

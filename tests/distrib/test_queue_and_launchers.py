@@ -217,6 +217,70 @@ class TestReap:
         assert "--stale-after" in capsys.readouterr().err
 
 
+class TestClockSkew:
+    """Staleness is judged on the queue filesystem's clock, never the
+    local wall clock — a driver whose clock runs an hour ahead of the
+    shared filesystem must not reap every healthy worker's claim."""
+
+    def test_skewed_local_clock_spares_fresh_claims(self, tmp_path,
+                                                    monkeypatch):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()   # heartbeat mtime stamped by the filesystem
+        import time as real_time
+        skewed = real_time.time() + 3600.0
+        monkeypatch.setattr("repro.distrib.queuedir.time",
+                            type("T", (), {"time": staticmethod(
+                                lambda: skewed)}))
+        # fs_now() reads the probe file's mtime — the same clock that
+        # stamped the heartbeat — so the hour of skew cancels out.
+        assert queue.stale_claims(60.0) == []
+
+    def test_actually_stale_claims_still_reaped_under_skew(self, tmp_path,
+                                                           monkeypatch):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()
+        path = os.path.join(str(tmp_path), "claimed", "t.json")
+        past = os.path.getmtime(path) - 3600.0
+        os.utime(path, (past, past))
+        import time as real_time
+        skewed = real_time.time() - 7200.0   # local clock two hours behind
+        monkeypatch.setattr("repro.distrib.queuedir.time",
+                            type("T", (), {"time": staticmethod(
+                                lambda: skewed)}))
+        assert queue.stale_claims(60.0) == ["t"]
+
+    def test_reclaim_resets_heartbeat_mtime(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.post("t", {"x": 1})
+        queue.claim()
+        path = os.path.join(str(tmp_path), "claimed", "t.json")
+        past = os.path.getmtime(path) - 3600.0
+        os.utime(path, (past, past))
+        assert reap(str(tmp_path), stale_after=60.0, once=True) == 1
+        # os.rename preserves the stale source mtime; claim() must
+        # re-stamp it or the reaper eats the task straight back.
+        assert queue.claim() == ("t", {"x": 1})
+        assert queue.stale_claims(60.0) == []
+
+    def test_fs_now_tracks_filesystem_clock(self, tmp_path):
+        import time as real_time
+        queue = WorkQueue(str(tmp_path))
+        before = real_time.time()
+        now = queue.fs_now()
+        # tmp_path is a local filesystem: its clock IS the wall clock
+        # (modulo mtime granularity).
+        assert abs(now - before) < 5.0
+
+    def test_fs_now_falls_back_when_probe_unwritable(self, tmp_path):
+        import time as real_time
+        queue = WorkQueue(str(tmp_path))
+        queue.root = "/proc"   # unwritable even for root
+        now = queue.fs_now()
+        assert abs(now - real_time.time()) < 5.0
+
+
 class TestDrain:
     def test_drain_executes_posted_shards_and_exits_when_empty(self, tmp_path):
         spec = tiny_spec()

@@ -1,0 +1,24 @@
+"""Fixtures for the observability suite: a small trained serving workload."""
+
+import pytest
+
+from repro.backends.taurus import TaurusBackend
+from repro.datasets import load_botnet
+from repro.datasets.botnet import flow_label, generate_botnet_flows
+from repro.eval.baselines import train_baseline_dnn
+
+
+@pytest.fixture(scope="session")
+def bd_pipeline_and_stream():
+    dataset = load_botnet(n_train_flows=60, n_test_flows=2, seed=13,
+                          per_packet_test=False)
+    net, scaler = train_baseline_dnn("bd", dataset, seed=0)
+    pipeline = TaurusBackend().compile_model(net, scaler=scaler, name="bd")
+    flows = generate_botnet_flows(40, seed=7)
+    tagged = sorted(
+        ((p.timestamp, p, flow_label(f)) for f in flows for p in f),
+        key=lambda item: item[0],
+    )
+    packets = [item[1] for item in tagged]
+    labels = [item[2] for item in tagged]
+    return pipeline, packets, labels

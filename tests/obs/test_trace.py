@@ -1,0 +1,131 @@
+"""Span tracer: events, JSONL sink, Chrome export, span counters."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    load_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_span_records_name_args_duration(self):
+        tracer = Tracer()
+        with tracer.span("compile.family", model="ad", family=2):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "compile.family"
+        assert event["args"] == {"model": "ad", "family": 2}
+        assert event["dur"] >= 0.0
+        assert event["pid"] == os.getpid()
+
+    def test_exception_annotated_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bo.eval"):
+                raise ValueError("boom")
+        (event,) = tracer.events
+        assert event["args"]["error"] == "ValueError"
+
+    def test_nested_spans_both_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [event["name"] for event in tracer.events]
+        # Inner exits first, so it lands first.
+        assert names == ["inner", "outer"]
+
+    def test_drain_returns_and_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [e["name"] for e in drained] == ["a"]
+        assert tracer.events == []
+
+    def test_span_counter_rides_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(counter_registry=registry)
+        for _ in range(3):
+            with tracer.span("distrib.unit"):
+                pass
+        samples = registry.snapshot()["repro_spans_total"]["samples"]
+        assert samples['[["name", "distrib.unit"]]'] == 3
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", k=1):
+            pass
+        assert NULL_TRACER.events == []
+        assert NULL_TRACER.drain() == []
+
+
+class TestSink:
+    def test_jsonl_sink_lines_parse(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink_path=str(sink))
+        with tracer.span("serving.infer", rows=8):
+            pass
+        with tracer.span("serving.infer", rows=4):
+            pass
+        tracer.flush()
+        tracer.close()
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            event = json.loads(line)
+            assert event["name"] == "serving.infer"
+        assert [e["args"]["rows"] for e in load_events(str(sink))] == [8, 4]
+
+    def test_two_tracers_interleave_whole_lines(self, tmp_path):
+        # O_APPEND single-write lines: concurrent writers can interleave
+        # only at line granularity, never mid-record.
+        sink = tmp_path / "trace.jsonl"
+        a = Tracer(sink_path=str(sink))
+        b = Tracer(sink_path=str(sink))
+        for _ in range(20):
+            with a.span("from.a"):
+                pass
+            with b.span("from.b"):
+                pass
+        a.close()
+        b.close()
+        events = load_events(str(sink))
+        assert len(events) == 40
+        assert {event["name"] for event in events} == {"from.a", "from.b"}
+
+
+class TestChromeExport:
+    def test_export_schema(self):
+        tracer = Tracer()
+        with tracer.span("distrib.unit", shard=0):
+            with tracer.span("bo.eval"):
+                pass
+        doc = to_chrome_trace(tracer.drain())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid"}
+        # cat is the first dotted component; events sorted by ts.
+        assert {e["cat"] for e in events} == {"distrib", "bo"}
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_validator_flags_problems(self):
+        doc = to_chrome_trace([])
+        assert validate_chrome_trace(doc) == []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert validate_chrome_trace({"nope": 1})
+        bad = {"traceEvents": [{"name": "a", "cat": "a", "ph": "Q",
+                                "ts": 0, "dur": 1, "pid": 1, "tid": 1}]}
+        assert validate_chrome_trace(bad)

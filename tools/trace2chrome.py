@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Convert a ``trace.jsonl`` span sink to Chrome ``trace_event`` JSON.
+
+The serving/search/control planes emit spans as JSON lines (see
+:mod:`repro.obs.trace`).  This tool folds one or more sinks into a
+single document loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev::
+
+    PYTHONPATH=src python tools/trace2chrome.py obs/trace.jsonl -o trace.json
+    PYTHONPATH=src python tools/trace2chrome.py --check trace.json
+
+``--check`` schema-validates an already-exported document (the
+obs-smoke CI job runs it after a 2-shard export) and exits 1 on any
+problem.  Multiple input sinks merge onto one timeline — wall-clock
+timestamps line the processes up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.trace import load_events, to_chrome_trace, validate_chrome_trace
+
+
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="trace.jsonl sink(s), or the exported JSON "
+                             "document with --check")
+    parser.add_argument("-o", "--out", default=None,
+                        help="output path (default: stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="schema-validate an exported Chrome trace")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        failures = 0
+        for path in args.paths:
+            with open(path) as handle:
+                doc = json.load(handle)
+            problems = validate_chrome_trace(doc)
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+            if problems:
+                failures += 1
+            else:
+                print(f"{path}: ok ({len(doc['traceEvents'])} events)")
+        return 1 if failures else 0
+
+    events: list = []
+    for path in args.paths:
+        events.extend(load_events(path))
+    doc = to_chrome_trace(events)
+    rendered = json.dumps(doc, indent=1, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {len(doc['traceEvents'])} event(s) to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
