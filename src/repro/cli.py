@@ -667,6 +667,202 @@ def control_main(argv: "list | None" = None) -> int:
     return _control_client(action, args)
 
 
+def build_adapt_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli adapt",
+        description="Drift-triggered retrain-and-redeploy demo "
+                    "(see docs/adaptation.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="control-server port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--flows", type=int, default=80,
+                        help="flows per phase of the looping trace")
+    parser.add_argument("--rate", type=float, default=3000.0,
+                        help="offered load per worker (packets/s)")
+    parser.add_argument("--shift-after-s", type=float, default=1.5,
+                        help="when the traffic distribution shifts")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="hard wall-clock cap on the run")
+    parser.add_argument("--budget", type=int, default=2,
+                        help="retrain search budget per algorithm family")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--max-retries", type=int, default=1)
+    parser.add_argument("--train-epochs", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument(
+        "--queue-depth", type=int, default=512,
+        help="ingest queue bound; small keeps the capture ring fresh "
+             "(block mode throttles the source instead of dropping)",
+    )
+    parser.add_argument("--capture", type=int, default=4096,
+                        help="per-worker traffic-capture ring capacity")
+    parser.add_argument("--window", type=int, default=256,
+                        help="drift-detector window (rows)")
+    parser.add_argument("--min-window", type=int, default=96)
+    parser.add_argument("--check-interval-s", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=13)
+    return parser
+
+
+def _adapt_serve(args) -> int:
+    """Run the closed loop end to end: serve pre-shift traffic with a v0
+    pipeline, shift the distribution mid-run, and let the adaptation
+    loop detect, retrain on captured traffic, and redeploy through the
+    regression gate.  Exit 0 iff at least one retrain-and-swap completed
+    and the packet path stayed lossless (``enqueued == packets + dropped``
+    with zero drops in block mode) — the CI smoke contract."""
+    import asyncio
+
+    from repro.control import ControlServer, FleetController, FleetWorker
+    from repro.drift import AdaptationLoop, DriftMonitor, TrafficCapture
+    from repro.drift.scenario import (
+        PHASE_PRE,
+        PHASE_SHIFTED,
+        adaptation_spec_factory,
+        phase_trace,
+        shifting_traffic,
+        train_initial_pipeline,
+    )
+    from repro.netsim.features import PACKET_FEATURE_NAMES
+    from repro.runtime import PacketFeatureExtractor
+    from repro.serving import AsyncStreamEngine
+
+    print("training pre-shift v0 pipeline ...")
+    v0, _ = train_initial_pipeline(seed=args.seed)
+    pre = phase_trace(args.flows, PHASE_PRE, seed=args.seed + 101)
+    post = phase_trace(args.flows, PHASE_SHIFTED, seed=args.seed + 202)
+
+    async def run() -> int:
+        stop = asyncio.Event()
+        workers = []
+        for index in range(args.workers):
+            capture = TrafficCapture(
+                capacity=args.capture, feature_names=PACKET_FEATURE_NAMES,
+            )
+            engine = AsyncStreamEngine(
+                v0, PacketFeatureExtractor(),
+                batch_size=args.batch_size,
+                queue_depth=args.queue_depth,
+                drop_policy="block",
+                capture=capture,
+            )
+            workers.append(FleetWorker(f"w{index}", engine, version="v0"))
+        controller = FleetController(workers)
+        monitor = DriftMonitor(
+            window=args.window, min_window=args.min_window,
+            feature_names=PACKET_FEATURE_NAMES,
+        )
+        adaptation = AdaptationLoop(
+            controller, monitor,
+            adaptation_spec_factory(budget=args.budget, seed=args.seed,
+                                    train_epochs=args.train_epochs),
+            shards=args.shards,
+            max_retries=args.max_retries,
+            check_interval_s=args.check_interval_s,
+        )
+        for worker in workers:
+            worker.attach(asyncio.create_task(
+                worker.engine.run(shifting_traffic(
+                    stop, pre, post, rate=args.rate,
+                    shift_after_s=args.shift_after_s,
+                    on_shift=lambda: print("-- traffic shifted --"),
+                )),
+                name=f"adapt-{worker.name}",
+            ))
+        loop_task = asyncio.create_task(adaptation.run(stop))
+        server = ControlServer(controller, host=args.host, port=args.port,
+                               adaptation=adaptation)
+        port = await server.start()
+        print(f"adaptation loop on http://{args.host}:{port} "
+              f"({args.workers} worker(s), shift at "
+              f"t+{args.shift_after_s:.1f}s)")
+        clock = asyncio.get_running_loop()
+        deadline = clock.time() + args.duration
+        try:
+            while clock.time() < deadline:
+                if adaptation.deployed >= 1:
+                    # Let the retrained pipeline serve a beat before
+                    # tearing down, so the recovery shows in the rings.
+                    await asyncio.sleep(1.0)
+                    break
+                await asyncio.sleep(0.2)
+        finally:
+            stop.set()
+            done = await asyncio.gather(
+                *(worker.task for worker in workers if worker.task),
+                return_exceptions=True,
+            )
+            for worker, result in zip(workers, done):
+                if isinstance(result, Exception):
+                    print(f"[{worker.name}] died: {result}", file=sys.stderr)
+            await loop_task
+            await server.stop()
+
+        ok = adaptation.deployed >= 1
+        for worker in workers:
+            summary = worker.engine.stats.summary()
+            conserved = (summary["enqueued"]
+                         == summary["packets"] + summary["dropped"])
+            ok = ok and conserved and summary["dropped"] == 0
+            accuracy = worker.engine.capture.accuracy(last=args.window)
+            print(f"[{worker.name}] {summary['packets']} packets, "
+                  f"{summary['dropped']} dropped, "
+                  f"{summary['swaps']} swaps, conservation "
+                  f"{'ok' if conserved else 'VIOLATED'}, "
+                  f"window accuracy "
+                  f"{accuracy if accuracy is None else round(accuracy, 3)} "
+                  f"(version {worker.version})")
+        for event in adaptation.events:
+            print(f"[adapt] {event['version']}: {event['outcome']} "
+                  f"({event.get('error') or event['trigger']})")
+        print(f"adaptations: {adaptation.deployed} deployed, "
+              f"{adaptation.rolled_back} rolled back, "
+              f"{adaptation.failed} failed "
+              f"-> {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    from repro.obs import flush_obs
+
+    restore_signals = _install_obs_flush()
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        flush_obs()
+        restore_signals()
+
+
+def adapt_main(argv: "list | None" = None) -> int:
+    args = build_adapt_parser().parse_args(list(argv or []))
+    if not 0 <= args.port < 65536:
+        print("error: --port must be 0..65535", file=sys.stderr)
+        return 2
+    for flag, value, minimum in [
+        ("--workers", args.workers, 1),
+        ("--flows", args.flows, 2),
+        ("--budget", args.budget, 1),
+        ("--shards", args.shards, 1),
+        ("--batch-size", args.batch_size, 1),
+        ("--queue-depth", args.queue_depth, 1),
+        ("--capture", args.capture, 2),
+        ("--window", args.window, 2),
+        ("--min-window", args.min_window, 2),
+        ("--train-epochs", args.train_epochs, 1),
+        ("--max-retries", args.max_retries, 0),
+    ]:
+        if value < minimum:
+            print(f"error: {flag} must be >= {minimum}", file=sys.stderr)
+            return 2
+    if args.rate <= 0 or args.duration <= 0 or args.check_interval_s <= 0:
+        print("error: --rate/--duration/--check-interval-s must be > 0",
+              file=sys.stderr)
+        return 2
+    return _adapt_serve(args)
+
+
 def _install_obs_flush():
     """SIGINT/SIGTERM -> flush obs artifacts, then normal teardown.
 
@@ -916,6 +1112,8 @@ def main(argv: "list | None" = None) -> int:
         return control_main(argv[1:])
     if argv and argv[0] == "obs":
         return obs_main(argv[1:])
+    if argv and argv[0] == "adapt":
+        return adapt_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)

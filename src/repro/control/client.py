@@ -140,3 +140,7 @@ class ControlClient:
     async def trace(self) -> dict:
         """``GET /trace``: the server's buffered span events."""
         return await self.request("GET", "/trace")
+
+    async def adaptation(self) -> dict:
+        """``GET /adaptation``: the attached adaptation loop's state."""
+        return await self.request("GET", "/adaptation")

@@ -13,6 +13,8 @@ GET       /metrics         -> Prometheus text exposition: the process
                            collected at scrape time
 GET       /trace           -> buffered span events as JSON (empty unless
                            ``REPRO_OBS`` is set)
+GET       /adaptation      -> adaptation-loop state (404 when no loop
+                           is attached)
 POST      /deploy          ``{"version": "v2", "gate": {...}?,
                            "workers": [...]?}`` -> rolling gated swap
 POST      /rollback        ``{"workers": [...]?}`` -> instant revert
@@ -87,10 +89,16 @@ class ControlServer:
     """
 
     def __init__(self, controller, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, adaptation=None) -> None:
+        if adaptation is not None and not hasattr(adaptation, "state"):
+            raise ControlError(
+                "adaptation must expose a state() method "
+                "(an AdaptationLoop or compatible)"
+            )
         self.controller = controller
         self.host = host
         self.port = int(port)
+        self.adaptation = adaptation
         self._server: "asyncio.AbstractServer | None" = None
 
     async def start(self) -> int:
@@ -191,6 +199,13 @@ class ControlServer:
                 return 405, {"error": "method", "detail": "GET /trace"}
             tracer = get_tracer()
             return 200, {"events": list(tracer.events)}
+        if path == "/adaptation":
+            if method != "GET":
+                return 405, {"error": "method", "detail": "GET /adaptation"}
+            if self.adaptation is None:
+                return 404, {"error": "not-found",
+                             "detail": "no adaptation loop attached"}
+            return 200, self.adaptation.state()
         if path == "/deploy":
             if method != "POST":
                 return 405, {"error": "method", "detail": "POST /deploy"}

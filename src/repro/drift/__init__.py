@@ -1,0 +1,49 @@
+"""Drift detection and the retrain-and-redeploy adaptation loop.
+
+The closed loop over the serving, search, and control planes:
+
+- :mod:`repro.drift.detectors` — windowed drift detectors (per-class
+  prediction-rate shift, PSI / KS feature divergence) folded through
+  hysteresis so one noisy window can't thrash the fleet,
+- :mod:`repro.drift.capture` — a bounded ring of recent labeled traffic
+  tapped off the engine's record stage; doubles as the detectors'
+  window source and the recompile dataset,
+- :mod:`repro.drift.loop` — :class:`AdaptationLoop`: confirmed drift
+  kicks a fault-tolerant distributed retrain over captured traffic and
+  rolls the winner out through the regression gate (bad retrains roll
+  back automatically),
+- :mod:`repro.drift.scenario` — a reproducible traffic-shift workload
+  (botnets evolving into the benign envelope) for tests, benchmarks,
+  and the ``cli adapt`` demo.
+
+See ``docs/adaptation.md`` for the detector math and the loop's state
+machine and safety argument.
+"""
+
+from repro.drift.capture import TrafficCapture, captured_dataset
+from repro.drift.detectors import (
+    ClassRateDetector,
+    DriftMonitor,
+    FeatureDriftDetector,
+    Hysteresis,
+    class_rates,
+    ks_statistic,
+    psi,
+    total_variation,
+)
+from repro.drift.loop import AdaptationLoop, rebuild_winner
+
+__all__ = [
+    "AdaptationLoop",
+    "ClassRateDetector",
+    "DriftMonitor",
+    "FeatureDriftDetector",
+    "Hysteresis",
+    "TrafficCapture",
+    "captured_dataset",
+    "class_rates",
+    "ks_statistic",
+    "psi",
+    "rebuild_winner",
+    "total_variation",
+]

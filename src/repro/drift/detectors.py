@@ -1,0 +1,404 @@
+"""Drift detectors over the live serving stream.
+
+A deployed pipeline was compiled against a snapshot of traffic; the
+traffic keeps moving.  This module holds the statistics that decide
+*when the snapshot has gone stale*, computed over bounded windows of the
+serving stream (the :class:`~repro.drift.capture.TrafficCapture` ring):
+
+* **prediction-rate shift** (:class:`ClassRateDetector`) — the total
+  variation distance between the reference and current per-class
+  prediction-rate vectors.  Cheap, model-facing: it fires when the
+  pipeline's *output* distribution moves, whatever the cause.
+* **feature divergence** (:class:`FeatureDriftDetector`) — per-feature
+  population stability index (:func:`psi`) and two-sample
+  Kolmogorov-Smirnov statistic (:func:`ks_statistic`) between the
+  reference window and the current window.  Input-facing: it fires when
+  the traffic itself moves, even while the model still looks confident.
+
+Raw per-window verdicts are deliberately jumpy — one burst of unusual
+flows should not recompile the fleet — so :class:`DriftMonitor` folds
+them through a :class:`Hysteresis` state machine: drift is *confirmed*
+only after ``trigger_after`` consecutive drifted windows, and a
+``cooldown`` of windows follows every confirmation so the loop cannot
+thrash.  See ``docs/adaptation.md`` for the detector math and the
+thresholds' calibration against window size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AdaptationError
+from repro.obs.registry import get_registry
+
+__all__ = [
+    "psi",
+    "ks_statistic",
+    "class_rates",
+    "total_variation",
+    "ClassRateDetector",
+    "FeatureDriftDetector",
+    "Hysteresis",
+    "DriftMonitor",
+]
+
+
+def total_variation(p, q) -> float:
+    """Total variation distance between two probability vectors."""
+    p = np.asarray(p, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if p.size != q.size:
+        raise AdaptationError(
+            f"total_variation wants equal-length vectors, got {p.size} vs {q.size}"
+        )
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def class_rates(predictions, classes) -> np.ndarray:
+    """Per-class prediction rates of ``predictions`` over ``classes``."""
+    predictions = np.asarray(predictions).ravel()
+    if predictions.size == 0:
+        raise AdaptationError("class_rates needs a non-empty window")
+    return np.array(
+        [float(np.mean(predictions == c)) for c in classes], dtype=float
+    )
+
+
+def psi(expected, actual, bins: int = 10, epsilon: float = 1e-4) -> float:
+    """Population stability index of ``actual`` against ``expected``.
+
+    Bin edges are ``expected``'s quantiles (so every reference bin holds
+    ~equal mass and the statistic is scale-free); both histograms are
+    floored at ``epsilon`` before the log-ratio so an empty bin
+    contributes a large-but-finite term.  The conventional reading:
+    < 0.1 stable, 0.1-0.25 drifting, > 0.25 shifted.
+
+    A constant reference column (e.g. a one-protocol port) has no
+    quantile spread; it degrades to a two-bin match/mismatch PSI, which
+    still blows up exactly when the constant stops holding.
+    """
+    if bins < 2:
+        raise AdaptationError(f"psi needs bins >= 2, got {bins}")
+    expected = np.asarray(expected, dtype=float).ravel()
+    actual = np.asarray(actual, dtype=float).ravel()
+    if expected.size == 0 or actual.size == 0:
+        raise AdaptationError("psi needs non-empty windows")
+    edges = np.unique(np.quantile(expected, np.linspace(0.0, 1.0, bins + 1)))
+    if edges.size < 2:
+        match = float(np.mean(actual == expected[0]))
+        p = np.array([1.0 - epsilon, epsilon])
+        q = np.maximum(np.array([match, 1.0 - match]), epsilon)
+    else:
+        inner = edges[1:-1]
+        p = np.bincount(
+            np.searchsorted(inner, expected, side="right"), minlength=edges.size - 1
+        ).astype(float)
+        q = np.bincount(
+            np.searchsorted(inner, actual, side="right"), minlength=edges.size - 1
+        ).astype(float)
+        p = np.maximum(p / p.sum(), epsilon)
+        q = np.maximum(q / q.sum(), epsilon)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+def ks_statistic(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup of |ECDF_a - ECDF_b|)."""
+    a = np.sort(np.asarray(a, dtype=float).ravel())
+    b = np.sort(np.asarray(b, dtype=float).ravel())
+    if a.size == 0 or b.size == 0:
+        raise AdaptationError("ks_statistic needs non-empty windows")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+class ClassRateDetector:
+    """Windowed per-class prediction-rate shift.
+
+    ``score(reference, window)`` compares prediction-rate vectors over
+    the union of classes seen in either window; the statistic is the
+    total variation distance, so the default threshold of 0.2 means
+    "at least 20% of the probability mass moved between classes".
+    """
+
+    def __init__(self, threshold: float = 0.2) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise AdaptationError(
+                f"class-rate threshold must be in (0, 1], got {threshold}"
+            )
+        self.threshold = float(threshold)
+
+    def score(self, reference, window) -> dict:
+        reference = np.asarray(reference).ravel()
+        window = np.asarray(window).ravel()
+        classes = sorted(set(np.unique(reference)) | set(np.unique(window)))
+        shift = total_variation(
+            class_rates(reference, classes), class_rates(window, classes)
+        )
+        return {
+            "statistic": shift,
+            "threshold": self.threshold,
+            "drifted": shift > self.threshold,
+        }
+
+
+class FeatureDriftDetector:
+    """Per-feature PSI + KS divergence against a frozen reference window.
+
+    A feature is drifted when *either* statistic crosses its threshold;
+    the window is drifted when any feature is.  Per-feature scores are
+    returned so the confirmed-drift event can name the culprit column.
+    """
+
+    def __init__(self, psi_threshold: float = 0.25,
+                 ks_threshold: float = 0.35, bins: int = 10) -> None:
+        if psi_threshold <= 0 or not 0.0 < ks_threshold <= 1.0:
+            raise AdaptationError(
+                "psi_threshold must be > 0 and ks_threshold in (0, 1]"
+            )
+        self.psi_threshold = float(psi_threshold)
+        self.ks_threshold = float(ks_threshold)
+        self.bins = int(bins)
+
+    def score(self, reference, window, feature_names=None) -> dict:
+        reference = np.atleast_2d(np.asarray(reference, dtype=float))
+        window = np.atleast_2d(np.asarray(window, dtype=float))
+        if reference.shape[1] != window.shape[1]:
+            raise AdaptationError(
+                f"feature windows disagree on width: "
+                f"{reference.shape[1]} vs {window.shape[1]}"
+            )
+        names = (tuple(feature_names) if feature_names is not None
+                 else tuple(f"f{i}" for i in range(reference.shape[1])))
+        if len(names) != reference.shape[1]:
+            raise AdaptationError(
+                f"{len(names)} feature names for {reference.shape[1]} columns"
+            )
+        psi_scores = {}
+        ks_scores = {}
+        drifted_features = []
+        for j, name in enumerate(names):
+            p = psi(reference[:, j], window[:, j], bins=self.bins)
+            k = ks_statistic(reference[:, j], window[:, j])
+            psi_scores[name] = p
+            ks_scores[name] = k
+            if p > self.psi_threshold or k > self.ks_threshold:
+                drifted_features.append(name)
+        return {
+            "psi": psi_scores,
+            "ks": ks_scores,
+            "psi_max": max(psi_scores.values()),
+            "ks_max": max(ks_scores.values()),
+            "psi_threshold": self.psi_threshold,
+            "ks_threshold": self.ks_threshold,
+            "drifted_features": drifted_features,
+            "drifted": bool(drifted_features),
+        }
+
+
+class Hysteresis:
+    """Consecutive-window confirmation plus a refractory cooldown.
+
+    ``update(raw)`` returns True (a *confirmed* event) only on the
+    ``trigger_after``-th consecutive raw-drifted window; any clean
+    window resets the streak, so a distribution that flips every window
+    never confirms.  After a confirmation the next ``cooldown`` updates
+    are ignored outright — the loop is busy retraining and the stream
+    is expected to look drifted until the new pipeline lands.
+    """
+
+    def __init__(self, trigger_after: int = 2, cooldown: int = 4) -> None:
+        if trigger_after < 1:
+            raise AdaptationError(
+                f"trigger_after must be >= 1, got {trigger_after}"
+            )
+        if cooldown < 0:
+            raise AdaptationError(f"cooldown must be >= 0, got {cooldown}")
+        self.trigger_after = int(trigger_after)
+        self.cooldown = int(cooldown)
+        self.fired = 0
+        self._streak = 0
+        self._cooling = 0
+
+    def update(self, raw: bool) -> bool:
+        if self._cooling > 0:
+            self._cooling -= 1
+            self._streak = 0
+            return False
+        self._streak = self._streak + 1 if raw else 0
+        if self._streak >= self.trigger_after:
+            self._streak = 0
+            self._cooling = self.cooldown
+            self.fired += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the streak and any remaining cooldown."""
+        self._streak = 0
+        self._cooling = 0
+
+    def state(self) -> dict:
+        return {
+            "trigger_after": self.trigger_after,
+            "cooldown": self.cooldown,
+            "streak": self._streak,
+            "cooling": self._cooling,
+            "fired": self.fired,
+        }
+
+
+class DriftMonitor:
+    """Composite monitor: calibrate once, then judge window after window.
+
+    Example::
+
+        monitor = DriftMonitor(window=256)
+        monitor.calibrate(rows, predictions)      # freeze the reference
+        verdict = monitor.check(rows2, preds2, t=now)
+        verdict["raw"], verdict["confirmed"], verdict["scores"]
+
+    ``check`` runs both detectors against the frozen reference, feeds
+    the OR of their raw verdicts through the hysteresis, and records a
+    confirmed event (plus the ``repro_drift_events_total`` counter,
+    labeled by the tripping signal) when it fires.  A window smaller
+    than ``min_window`` is never judged — a half-filled ring right
+    after a deploy must not trigger the next retrain.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        min_window: int = 64,
+        class_threshold: float = 0.2,
+        psi_threshold: float = 0.25,
+        ks_threshold: float = 0.35,
+        trigger_after: int = 2,
+        cooldown: int = 4,
+        feature_names=None,
+    ) -> None:
+        if window < 2 or min_window < 2:
+            raise AdaptationError("window and min_window must be >= 2")
+        if min_window > window:
+            raise AdaptationError(
+                f"min_window ({min_window}) must be <= window ({window})"
+            )
+        self.window = int(window)
+        self.min_window = int(min_window)
+        self.class_detector = ClassRateDetector(threshold=class_threshold)
+        self.feature_detector = FeatureDriftDetector(
+            psi_threshold=psi_threshold, ks_threshold=ks_threshold
+        )
+        self.hysteresis = Hysteresis(trigger_after=trigger_after,
+                                     cooldown=cooldown)
+        self.feature_names = (tuple(feature_names)
+                              if feature_names is not None else None)
+        self._ref_rows: "np.ndarray | None" = None
+        self._ref_preds: "np.ndarray | None" = None
+        self.calibrated_at: "float | None" = None
+        self.checks = 0
+        self.events: list = []
+        self.last_verdict: "dict | None" = None
+
+    @property
+    def calibrated(self) -> bool:
+        return self._ref_rows is not None
+
+    def calibrate(self, rows, predictions, t: "float | None" = None) -> None:
+        """Freeze ``rows``/``predictions`` as the healthy reference."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        predictions = np.asarray(predictions).ravel()
+        if rows.shape[0] != predictions.size:
+            raise AdaptationError(
+                f"calibrate: {rows.shape[0]} rows vs "
+                f"{predictions.size} predictions"
+            )
+        if rows.shape[0] < self.min_window:
+            raise AdaptationError(
+                f"calibrate needs >= {self.min_window} rows, got {rows.shape[0]}"
+            )
+        self._ref_rows = rows[-self.window:].copy()
+        self._ref_preds = predictions[-self.window:].copy()
+        self.calibrated_at = float(t) if t is not None else None
+        self.hysteresis.reset()
+
+    def check(self, rows, predictions, t: "float | None" = None) -> dict:
+        """Judge one window; returns the verdict (and logs confirmations)."""
+        if not self.calibrated:
+            raise AdaptationError("monitor is not calibrated yet")
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        predictions = np.asarray(predictions).ravel()
+        self.checks += 1
+        if rows.shape[0] < self.min_window:
+            verdict = {
+                "t": t, "raw": False, "confirmed": False,
+                "judged": False, "scores": {},
+                "reasons": [f"window {rows.shape[0]} < min {self.min_window}"],
+            }
+            self.last_verdict = verdict
+            return verdict
+        rows = rows[-self.window:]
+        predictions = predictions[-self.window:]
+        class_score = self.class_detector.score(self._ref_preds, predictions)
+        feature_score = self.feature_detector.score(
+            self._ref_rows, rows, feature_names=self.feature_names
+        )
+        reasons = []
+        if class_score["drifted"]:
+            reasons.append(
+                f"class-rate shift {class_score['statistic']:.3f} > "
+                f"{class_score['threshold']:g}"
+            )
+        if feature_score["drifted"]:
+            reasons.append(
+                "feature divergence on "
+                + ", ".join(feature_score["drifted_features"])
+                + f" (psi max {feature_score['psi_max']:.3f}, "
+                f"ks max {feature_score['ks_max']:.3f})"
+            )
+        raw = class_score["drifted"] or feature_score["drifted"]
+        confirmed = self.hysteresis.update(raw)
+        verdict = {
+            "t": t, "raw": raw, "confirmed": confirmed, "judged": True,
+            "scores": {"class": class_score, "features": feature_score},
+            "reasons": reasons,
+        }
+        self.last_verdict = verdict
+        if confirmed:
+            signal = "class-rate" if class_score["drifted"] else "feature"
+            self.events.append({"t": t, "signal": signal, "reasons": reasons})
+            get_registry().counter(
+                "repro_drift_events_total",
+                help="confirmed drift events by tripping signal",
+                labels=("signal",),
+            ).labels(signal=signal).inc()
+        return verdict
+
+    def state(self) -> dict:
+        """JSON-friendly monitor snapshot for ``GET /adaptation``."""
+        last = None
+        if self.last_verdict is not None:
+            scores = self.last_verdict.get("scores", {})
+            last = {
+                "t": self.last_verdict.get("t"),
+                "raw": self.last_verdict.get("raw"),
+                "confirmed": self.last_verdict.get("confirmed"),
+                "judged": self.last_verdict.get("judged"),
+                "reasons": list(self.last_verdict.get("reasons", [])),
+                "class_statistic": (scores.get("class") or {}).get("statistic"),
+                "psi_max": (scores.get("features") or {}).get("psi_max"),
+                "ks_max": (scores.get("features") or {}).get("ks_max"),
+            }
+        return {
+            "calibrated": self.calibrated,
+            "calibrated_at": self.calibrated_at,
+            "window": self.window,
+            "min_window": self.min_window,
+            "checks": self.checks,
+            "events": len(self.events),
+            "hysteresis": self.hysteresis.state(),
+            "last_verdict": last,
+        }

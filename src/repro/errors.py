@@ -47,5 +47,9 @@ class ControlError(HomunculusError):
     """A serving-fleet control-plane operation is invalid or failed."""
 
 
+class AdaptationError(HomunculusError):
+    """A drift detector or the retrain-and-redeploy loop cannot proceed."""
+
+
 class DeployConflict(ControlError):
     """A fleet mutation raced a rollout already in progress (HTTP 409)."""

@@ -124,6 +124,13 @@ class AsyncStreamEngine:
         split extraction CPU between routes by weight.
     clock:
         time source for latency stamps and pacing (default wall clock).
+    capture:
+        optional :class:`~repro.drift.capture.TrafficCapture`-like sink
+        (``observe_batch(rows, labels, predictions, times)``).  The
+        record stage feeds it every finished micro-batch, giving the
+        adaptation loop a bounded ring of recent labeled traffic to
+        recompile against.  ``None`` (the default) keeps the packet
+        path untouched.
     """
 
     def __init__(
@@ -140,6 +147,7 @@ class AsyncStreamEngine:
         extract_quantum: int = 0,
         clock: "WallClock | VirtualClock | None" = None,
         stats: "ServingStats | None" = None,
+        capture=None,
     ) -> None:
         if not hasattr(pipeline, "predict"):
             raise HomunculusError("pipeline must expose predict()")
@@ -173,6 +181,9 @@ class AsyncStreamEngine:
         if self.priorities is not None:
             # Validate eagerly (PriorityChannel re-checks at run()).
             PriorityChannel(self.queue_depth, self.priorities)
+        if capture is not None and not hasattr(capture, "observe_batch"):
+            raise HomunculusError("capture must expose observe_batch()")
+        self.capture = capture
         self.clock = clock if clock is not None else WallClock()
         self.stats = stats if stats is not None else ServingStats()
         self.pipeline_generation = 0
@@ -424,6 +435,7 @@ class AsyncStreamEngine:
     async def _record(self, q_done: asyncio.Queue, out: list) -> None:
         """Re-sequence finished batches; record stats in arrival order."""
         stats = self.stats
+        capture = self.capture
         lanes = self.priorities is not None and len(self.priorities) > 1
         pending: dict = {}
         expected = 0
@@ -438,6 +450,11 @@ class AsyncStreamEngine:
                 now = self.clock.now()
                 labels = [label for _, label, _, _ in batch]
                 stats.record_batch(predictions, labels)
+                if capture is not None:
+                    capture.observe_batch(
+                        [row for row, _, _, _ in batch], labels, predictions,
+                        times=[t_arrival for _, _, t_arrival, _ in batch],
+                    )
                 waits = [now - t_arrival for _, _, t_arrival, _ in batch]
                 stats.latency.observe_batch(waits)
                 stats.latency_series.observe(max(waits), t=now)

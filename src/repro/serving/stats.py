@@ -140,6 +140,47 @@ class RingSeries:
         self._sum += value
         self._samples += 1
 
+    def observe_batch(self, values, times=None) -> None:
+        """Vectorized :meth:`observe`: append many samples at once.
+
+        ``times`` may be omitted (timestamps default to 0.0), a scalar
+        (broadcast over the batch — one arrival stamp per micro-batch),
+        or an array matching ``values``.  Running ``max``/``mean``
+        account for every sample even when the batch is larger than the
+        ring and only the newest ``capacity`` samples are retained.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        n = values.size
+        if n == 0:
+            return
+        if times is None:
+            stamps = np.zeros(n)
+        else:
+            stamps = np.asarray(times, dtype=float)
+            if stamps.ndim == 0:
+                stamps = np.full(n, float(stamps))
+            else:
+                stamps = stamps.ravel()
+                if stamps.size != n:
+                    raise HomunculusError(
+                        f"observe_batch: {stamps.size} timestamps for "
+                        f"{n} values"
+                    )
+        self._sum += float(values.sum())
+        self._samples += n
+        peak = float(values.max())
+        if peak > self.max:
+            self.max = peak
+        if n > self.capacity:
+            values = values[-self.capacity:]
+            stamps = stamps[-self.capacity:]
+            n = values.size
+        idx = (self._head + np.arange(n)) % self.capacity
+        self._times[idx] = stamps
+        self._values[idx] = values
+        self._head = (self._head + n) % self.capacity
+        self._count = min(self._count + n, self.capacity)
+
     def __len__(self) -> int:
         return self._count
 

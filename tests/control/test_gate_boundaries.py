@@ -1,0 +1,136 @@
+"""RegressionGate.compare edge windows.
+
+The gate is the adaptation loop's only line of defence against serving
+a bad retrain, so its behaviour on degenerate windows — empty, exactly
+at ``min_batches``, all traffic dropped — must be pinned, not assumed.
+"""
+
+import pytest
+
+from repro.control.telemetry import RegressionGate, window_metrics
+
+
+def _counters(enqueued=0, dropped=0, batches=0, packets=0):
+    return {"enqueued": enqueued, "dropped": dropped,
+            "batches": batches, "packets": packets}
+
+
+def _window(latencies=(), before=None, after=None):
+    return window_metrics(list(latencies), before or _counters(),
+                          after or _counters())
+
+
+class TestEmptyWindows:
+    def test_empty_pre_and_post_do_not_regress(self):
+        """No traffic on either side: percentiles and drop rates are all
+        zero, so nothing can trip — the verdict must be healthy, not a
+        crash or a spurious rollback."""
+        verdict = RegressionGate().compare(_window(), _window())
+        assert verdict["regressed"] is False
+        assert verdict["reasons"] == []
+
+    def test_empty_window_metrics_are_zero(self):
+        w = _window()
+        assert w["latency_p50_s"] == 0.0
+        assert w["latency_p99_s"] == 0.0
+        assert w["latency_samples"] == 0
+        assert w["drop_rate"] == 0.0
+
+    def test_empty_pre_loaded_post_uses_absolute_floor(self):
+        """With an empty pre window (pre p99 = 0) any post latency above
+        the absolute floor is formally > factor * 0 — the floor is what
+        keeps a cold-started worker from insta-rollback at micro
+        latencies, and what still catches a genuinely slow pipeline."""
+        gate = RegressionGate(latency_factor=3.0, latency_floor_s=2e-2)
+        below_floor = _window([1e-3] * 5,
+                              after=_counters(enqueued=5, packets=5,
+                                              batches=5))
+        assert not gate.compare(_window(), below_floor)["regressed"]
+        above_floor = _window([5e-2] * 5,
+                              after=_counters(enqueued=5, packets=5,
+                                              batches=5))
+        verdict = gate.compare(_window(), above_floor)
+        assert verdict["regressed"]
+        assert "latency" in verdict["reasons"][0]
+
+    def test_loaded_pre_empty_post_does_not_regress(self):
+        """Latency can only *improve* to an empty window; the missing-
+        traffic case is the controller's settle timeout, not the gate's
+        comparison."""
+        pre = _window([1e-2] * 10, after=_counters(enqueued=10, packets=10,
+                                                   batches=10))
+        assert not RegressionGate().compare(pre, _window())["regressed"]
+
+
+class TestMinBatchesBoundary:
+    def test_exactly_min_batches_is_judgeable(self):
+        """``min_batches`` is the controller's settle threshold; the gate
+        itself must render a verdict from exactly that many samples."""
+        gate = RegressionGate(min_batches=3)
+        pre = _window([1e-2] * 3, after=_counters(enqueued=192, packets=192,
+                                                  batches=3))
+        post = _window([1e-2] * 3,
+                       before=_counters(enqueued=192, packets=192, batches=3),
+                       after=_counters(enqueued=384, packets=384, batches=6))
+        assert post["batches"] == gate.min_batches
+        assert not gate.compare(pre, post)["regressed"]
+
+    def test_single_sample_windows_compare(self):
+        gate = RegressionGate(min_batches=1)
+        pre = _window([1e-2], after=_counters(enqueued=64, packets=64,
+                                              batches=1))
+        slow = _window([9e-2],
+                       before=_counters(enqueued=64, packets=64, batches=1),
+                       after=_counters(enqueued=128, packets=128, batches=2))
+        assert gate.compare(pre, slow)["regressed"]
+
+    def test_min_batches_validated(self):
+        from repro.errors import ControlError
+
+        with pytest.raises(ControlError):
+            RegressionGate(min_batches=0)
+
+
+class TestAllDroppedWindows:
+    def test_post_window_all_dropped_regresses(self):
+        """Every post-swap arrival shed: drop rate 1.0 vs 0.0 pre — the
+        starkest regression the gate can see."""
+        pre = _window([1e-2] * 5, after=_counters(enqueued=100, packets=100,
+                                                  batches=5))
+        post = _window([],
+                       before=_counters(enqueued=100, packets=100, batches=5),
+                       after=_counters(enqueued=200, packets=100,
+                                       dropped=100, batches=5))
+        assert post["drop_rate"] == 1.0
+        verdict = RegressionGate().compare(pre, post)
+        assert verdict["regressed"]
+        assert "drop rate" in verdict["reasons"][0]
+
+    def test_pre_window_all_dropped_forgives_post_drops(self):
+        """A worker that was already shedding everything cannot regress
+        on drops: rate went 1.0 -> 1.0."""
+        pre = _window([], after=_counters(enqueued=100, dropped=100))
+        post = _window([1e-3] * 4,
+                       before=_counters(enqueued=100, dropped=100),
+                       after=_counters(enqueued=200, dropped=200))
+        assert pre["drop_rate"] == 1.0 and post["drop_rate"] == 1.0
+        assert not RegressionGate().compare(pre, post)["regressed"]
+
+    def test_drop_margin_is_exclusive(self):
+        """Exactly +margin does not trip; just past it does."""
+        gate = RegressionGate(drop_margin=0.01)
+        pre = _window([1e-3],
+                      after=_counters(enqueued=1000, packets=1000, batches=1))
+        at_margin = _window(
+            [1e-3],
+            before=_counters(enqueued=1000, packets=1000, batches=1),
+            after=_counters(enqueued=2000, packets=1990, dropped=10,
+                            batches=2))
+        assert at_margin["drop_rate"] == pytest.approx(0.01)
+        assert not gate.compare(pre, at_margin)["regressed"]
+        past_margin = _window(
+            [1e-3],
+            before=_counters(enqueued=1000, packets=1000, batches=1),
+            after=_counters(enqueued=2000, packets=1980, dropped=20,
+                            batches=2))
+        assert gate.compare(pre, past_margin)["regressed"]

@@ -1,0 +1,133 @@
+"""Traffic capture: bounded memory, window alignment, dataset export."""
+
+import numpy as np
+import pytest
+
+from repro.drift import TrafficCapture, captured_dataset
+from repro.errors import AdaptationError
+
+
+def _fill(capture, n, label_of=lambda i: i % 2, t0=0.0, width=3):
+    rows = [np.full(width, float(i)) for i in range(n)]
+    labels = [label_of(i) for i in range(n)]
+    preds = [1 - (i % 2) for i in range(n)]
+    times = [t0 + float(i) for i in range(n)]
+    capture.observe_batch(rows, labels, preds, times=times)
+
+
+class TestRing:
+    def test_capacity_bounds_memory(self):
+        c = TrafficCapture(capacity=8)
+        _fill(c, 100)
+        assert len(c) == 8
+        w = c.window()
+        assert w["rows"].shape == (8, 3)
+        # Newest rows survive, in chronological order.
+        assert list(w["times"]) == [float(t) for t in range(92, 100)]
+        assert c.seen == 100 and c.labeled == 100
+
+    def test_unlabeled_rows_counted_not_retained(self):
+        c = TrafficCapture(capacity=16)
+        _fill(c, 6, label_of=lambda i: None if i % 3 else 1)
+        assert c.skipped_unlabeled == 4
+        assert len(c) == 2
+
+    def test_all_unlabeled_batch_is_noop(self):
+        c = TrafficCapture(capacity=16)
+        c.observe_batch([np.zeros(3)], [None], [0], times=[0.0])
+        assert len(c) == 0
+        assert c.skipped_unlabeled == 1
+        assert c.accuracy() is None
+
+    def test_width_change_rejected(self):
+        c = TrafficCapture(capacity=16)
+        _fill(c, 4, width=3)
+        with pytest.raises(AdaptationError):
+            _fill(c, 4, width=5)
+
+    def test_scalar_timestamp_broadcasts(self):
+        c = TrafficCapture(capacity=16)
+        c.observe_batch([np.zeros(2), np.ones(2)], [0, 1], [0, 1],
+                        times=7.5)
+        assert list(c.window()["times"]) == [7.5, 7.5]
+
+    def test_window_since_and_last(self):
+        c = TrafficCapture(capacity=32)
+        _fill(c, 10)
+        assert c.window(since=6.0)["labels"].size == 3
+        assert c.window(last=4)["labels"].size == 4
+        assert c.window(last=4, since=8.0)["labels"].size == 1
+
+    def test_columns_stay_in_lockstep(self):
+        c = TrafficCapture(capacity=8)
+        _fill(c, 20)
+        w = c.window()
+        # Row i was np.full(width, i) with label i % 2: features,
+        # labels, and timestamps must reference the same packet.
+        for t, row, label in zip(w["times"], w["rows"], w["labels"]):
+            assert np.all(row == t)
+            assert label == int(t) % 2
+
+    def test_accuracy_reflects_predictions(self):
+        c = TrafficCapture(capacity=32)
+        # label = i % 2, prediction = 1 - i % 2: everything wrong.
+        _fill(c, 10)
+        assert c.accuracy() == 0.0
+        c2 = TrafficCapture(capacity=32)
+        c2.observe_batch([np.zeros(2)] * 4, [1, 1, 0, 0], [1, 0, 0, 0],
+                         times=list(map(float, range(4))))
+        assert c2.accuracy() == pytest.approx(0.75)
+
+    def test_capacity_validated(self):
+        with pytest.raises(AdaptationError):
+            TrafficCapture(capacity=1)
+
+
+class TestDatasetExport:
+    def test_stride_split_and_determinism(self):
+        c = TrafficCapture(capacity=64, feature_names=("a", "b", "c"))
+        _fill(c, 40)
+        ds = c.to_dataset(test_stride=4, min_rows=16)
+        assert ds.n_train == 30 and ds.n_test == 10
+        assert ds.feature_names == ("a", "b", "c")
+        assert ds.metadata["source"] == "traffic-capture"
+        # Same ring contents -> bit-identical dataset.
+        again = c.to_dataset(test_stride=4, min_rows=16)
+        assert np.array_equal(ds.train_x, again.train_x)
+        assert np.array_equal(ds.test_y, again.test_y)
+
+    def test_multiple_captures_merge_chronologically(self):
+        a = TrafficCapture(capacity=32)
+        b = TrafficCapture(capacity=32)
+        _fill(a, 16, t0=0.0)
+        _fill(b, 16, t0=0.5)   # interleaved timestamps
+        ds = captured_dataset([a, b], min_rows=16)
+        assert ds.n_train + ds.n_test == 32
+
+    def test_too_few_rows_rejected(self):
+        c = TrafficCapture(capacity=32)
+        _fill(c, 8)
+        with pytest.raises(AdaptationError):
+            c.to_dataset(min_rows=16)
+
+    def test_single_class_training_split_rejected(self):
+        c = TrafficCapture(capacity=64)
+        _fill(c, 40, label_of=lambda i: 1)
+        with pytest.raises(AdaptationError):
+            c.to_dataset(min_rows=16)
+
+    def test_empty_capture_rejected(self):
+        with pytest.raises(AdaptationError):
+            captured_dataset([TrafficCapture(capacity=8)])
+        with pytest.raises(AdaptationError):
+            captured_dataset([])
+
+    def test_snapshot_round_trips_through_dataset_ref(self, tmp_path):
+        c = TrafficCapture(capacity=64, feature_names=("x", "y", "z"))
+        _fill(c, 40)
+        ref = c.snapshot(str(tmp_path / "cap.npz"), min_rows=16)
+        loaded = ref.materialize()
+        direct = c.to_dataset(min_rows=16)
+        assert np.array_equal(loaded.train_x, direct.train_x)
+        assert np.array_equal(loaded.test_x, direct.test_x)
+        assert loaded.feature_names == ("x", "y", "z")

@@ -1,0 +1,250 @@
+"""Property-based checks on the drift detectors.
+
+The detectors guard a retrain trigger, so both failure modes are
+expensive: a false positive burns a distributed search and risks a
+gated-rollback cycle on the fleet; a false negative leaves a stale
+pipeline serving drifted traffic.  These tests pin the operating
+envelope: stationarity never fires across many seeds, real shifts of
+varying magnitude fire within a bounded number of windows, and
+hysteresis keeps an oscillating distribution from thrashing the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.drift import (
+    ClassRateDetector,
+    DriftMonitor,
+    FeatureDriftDetector,
+    Hysteresis,
+    class_rates,
+    ks_statistic,
+    psi,
+    total_variation,
+)
+from repro.errors import AdaptationError
+
+WINDOW = 192
+N_FEATURES = 4
+
+
+def _stationary(rng, n=WINDOW):
+    rows = rng.normal(0.0, 1.0, size=(n, N_FEATURES))
+    preds = rng.integers(0, 2, size=n)
+    return rows, preds
+
+
+class TestPrimitives:
+    def test_psi_zero_for_identical_samples(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=512)
+        assert psi(x, x) == pytest.approx(0.0, abs=1e-6)
+
+    def test_psi_grows_with_shift_magnitude(self):
+        rng = np.random.default_rng(1)
+        ref = rng.normal(0.0, 1.0, size=512)
+        scores = [
+            psi(ref, rng.normal(mu, 1.0, size=512))
+            for mu in (0.0, 0.5, 1.0, 2.0, 4.0)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+        assert scores[-1] > 1.0
+
+    def test_psi_constant_column_fallback(self):
+        ref = np.full(128, 7.0)
+        assert psi(ref, np.full(128, 7.0)) == pytest.approx(0.0, abs=1e-2)
+        assert psi(ref, np.full(128, 9.0)) > 1.0
+
+    def test_ks_bounds_and_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=256)
+        b = rng.normal(3.0, 1.0, size=256)
+        d = ks_statistic(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_statistic(b, a))
+        assert ks_statistic(a, a) == pytest.approx(0.0)
+        # Disjoint supports: the ECDFs separate completely.
+        assert ks_statistic(a, a + 100.0) == pytest.approx(1.0)
+
+    def test_total_variation_properties(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation(p, p) == 0.0
+        assert total_variation(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+        with pytest.raises(AdaptationError):
+            total_variation(p, np.array([1.0]))
+
+    def test_class_rates_empty_rejected(self):
+        with pytest.raises(AdaptationError):
+            class_rates(np.array([]), classes=np.array([0, 1]))
+
+
+class TestNoFalsePositives:
+    @pytest.mark.parametrize("seed", range(24))
+    def test_stationary_traffic_never_confirms(self, seed):
+        rng = np.random.default_rng(seed)
+        monitor = DriftMonitor(window=WINDOW, min_window=64)
+        rows, preds = _stationary(rng)
+        monitor.calibrate(rows, preds, t=0.0)
+        for step in range(12):
+            rows, preds = _stationary(rng)
+            verdict = monitor.check(rows, preds, t=float(step + 1))
+            assert not verdict["confirmed"], (
+                f"seed {seed} false-positive at window {step}: "
+                f"{verdict['reasons']}"
+            )
+        assert monitor.events == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_stationary_detectors_score_below_threshold(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        ref_rows, ref_preds = _stationary(rng)
+        rows, preds = _stationary(rng)
+        features = FeatureDriftDetector().score(ref_rows, rows)
+        classes = ClassRateDetector().score(ref_preds, preds)
+        assert not features["drifted"]
+        assert not classes["drifted"]
+
+
+class TestShiftsDetected:
+    @pytest.mark.parametrize("magnitude", [1.0, 2.0, 4.0])
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_mean_shift_confirmed_within_bounded_windows(
+        self, magnitude, seed
+    ):
+        rng = np.random.default_rng(seed)
+        monitor = DriftMonitor(window=WINDOW, min_window=64,
+                               trigger_after=2)
+        rows, preds = _stationary(rng)
+        monitor.calibrate(rows, preds, t=0.0)
+        confirmed_at = None
+        for step in range(8):
+            rows = rng.normal(magnitude, 1.0, size=(WINDOW, N_FEATURES))
+            preds = rng.integers(0, 2, size=WINDOW)
+            if monitor.check(rows, preds, t=float(step + 1))["confirmed"]:
+                confirmed_at = step
+                break
+        # Hysteresis needs trigger_after consecutive windows; a genuine
+        # shift must confirm as soon as that debounce allows.
+        assert confirmed_at is not None
+        assert confirmed_at <= 2
+
+    def test_prediction_rate_shift_alone_confirms(self):
+        rng = np.random.default_rng(3)
+        # Rows stay stationary, so only the prediction-rate detector
+        # can trip — the event must name the class-rate signal.
+        monitor = DriftMonitor(window=WINDOW, min_window=64,
+                               trigger_after=2)
+        rows, _ = _stationary(rng)
+        monitor.calibrate(rows, rng.integers(0, 2, size=WINDOW), t=0.0)
+        confirmed = False
+        for step in range(4):
+            rows, _ = _stationary(rng)
+            verdict = monitor.check(rows, np.zeros(WINDOW, dtype=int),
+                                    t=float(step + 1))
+            confirmed = confirmed or verdict["confirmed"]
+        assert confirmed
+        assert monitor.events[-1]["signal"] == "class-rate"
+
+
+class TestHysteresis:
+    def test_flipping_distribution_never_confirms(self):
+        """A distribution that alternates every window raises raw
+        verdicts but must never produce a confirmed event with
+        trigger_after=2 — the oscillation can't sustain a streak."""
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(window=WINDOW, min_window=64,
+                               trigger_after=2, cooldown=2)
+        ref_rows, ref_preds = _stationary(rng)
+        monitor.calibrate(ref_rows, ref_preds, t=0.0)
+        raws = []
+        for step in range(16):
+            if step % 2 == 0:
+                rows = rng.normal(4.0, 1.0, size=(WINDOW, N_FEATURES))
+            else:
+                rows = rng.normal(0.0, 1.0, size=(WINDOW, N_FEATURES))
+            preds = rng.integers(0, 2, size=WINDOW)
+            verdict = monitor.check(rows, preds, t=float(step + 1))
+            raws.append(verdict["raw"])
+            assert not verdict["confirmed"]
+        assert any(raws), "shifted windows should at least raise raw flags"
+        assert monitor.events == []
+
+    def test_trigger_after_one_fires_on_flip(self):
+        """Contrast: without the debounce the same oscillation thrashes."""
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(window=WINDOW, min_window=64,
+                               trigger_after=1, cooldown=0)
+        ref_rows, ref_preds = _stationary(rng)
+        monitor.calibrate(ref_rows, ref_preds, t=0.0)
+        for step in range(6):
+            if step % 2 == 0:
+                rows = rng.normal(4.0, 1.0, size=(WINDOW, N_FEATURES))
+            else:
+                rows = rng.normal(0.0, 1.0, size=(WINDOW, N_FEATURES))
+            monitor.check(rows, rng.integers(0, 2, size=WINDOW),
+                          t=float(step + 1))
+        assert len(monitor.events) >= 2
+
+    def test_cooldown_is_refractory(self):
+        h = Hysteresis(trigger_after=1, cooldown=3)
+        assert h.update(True)
+        # The next `cooldown` raw verdicts are swallowed.
+        assert [h.update(True) for _ in range(3)] == [False] * 3
+        assert h.update(True)
+
+    def test_streak_resets_on_clean_window(self):
+        h = Hysteresis(trigger_after=3, cooldown=0)
+        assert not h.update(True)
+        assert not h.update(True)
+        assert not h.update(False)
+        assert not h.update(True)
+        assert not h.update(True)
+        assert h.update(True)
+
+    def test_validation(self):
+        with pytest.raises(AdaptationError):
+            Hysteresis(trigger_after=0)
+        with pytest.raises(AdaptationError):
+            Hysteresis(trigger_after=1, cooldown=-1)
+
+
+class TestMonitorLifecycle:
+    def test_check_before_calibration_rejected(self):
+        monitor = DriftMonitor(window=WINDOW, min_window=64)
+        with pytest.raises(AdaptationError):
+            monitor.check(np.zeros((WINDOW, 2)), np.zeros(WINDOW))
+
+    def test_small_window_not_judged(self):
+        rng = np.random.default_rng(5)
+        monitor = DriftMonitor(window=WINDOW, min_window=64)
+        rows, preds = _stationary(rng)
+        monitor.calibrate(rows, preds, t=0.0)
+        verdict = monitor.check(rows[:8], preds[:8], t=1.0)
+        assert not verdict["judged"]
+        assert not verdict["confirmed"]
+
+    def test_recalibration_resets_reference_and_hysteresis(self):
+        rng = np.random.default_rng(6)
+        monitor = DriftMonitor(window=WINDOW, min_window=64,
+                               trigger_after=1, cooldown=0)
+        rows, preds = _stationary(rng)
+        monitor.calibrate(rows, preds, t=0.0)
+        shifted = rng.normal(5.0, 1.0, size=(WINDOW, N_FEATURES))
+        assert monitor.check(shifted, preds, t=1.0)["confirmed"]
+        # After recalibrating *on the shifted traffic*, the same
+        # distribution is the new normal.
+        monitor.calibrate(shifted, preds, t=2.0)
+        more = rng.normal(5.0, 1.0, size=(WINDOW, N_FEATURES))
+        assert not monitor.check(more, preds, t=3.0)["confirmed"]
+
+    def test_state_is_json_friendly(self):
+        import json
+
+        rng = np.random.default_rng(7)
+        monitor = DriftMonitor(window=WINDOW, min_window=64)
+        rows, preds = _stationary(rng)
+        monitor.calibrate(rows, preds, t=0.0)
+        monitor.check(rows, preds, t=1.0)
+        json.dumps(monitor.state())

@@ -45,6 +45,52 @@ class TestRingSeries:
         assert s.mean_depth == s.mean == 3.0
 
 
+class TestRingSeriesBatch:
+    def test_batch_equals_loop_of_observes(self):
+        a, b = RingSeries(capacity=5), RingSeries(capacity=5)
+        values = [3.0, 1.0, 9.0, 2.0, 8.0, 4.0, 7.0]
+        times = [float(t) for t in range(len(values))]
+        for v, t in zip(values, times):
+            a.observe(v, t=t)
+        b.observe_batch(values, times=times)
+        assert a.samples()[0].tolist() == b.samples()[0].tolist()
+        assert a.samples()[1].tolist() == b.samples()[1].tolist()
+        assert a.max == b.max and a.mean == b.mean
+        assert len(a) == len(b)
+
+    def test_oversized_batch_keeps_newest_but_counts_all(self):
+        s = RingSeries(capacity=3)
+        s.observe_batch(list(range(10)), times=[float(t) for t in range(10)])
+        times, values = s.samples()
+        assert list(values) == [7.0, 8.0, 9.0]
+        assert s.max == 9.0
+        assert s.mean == pytest.approx(4.5)  # over all 10, not just 3
+
+    def test_scalar_time_broadcasts(self):
+        s = RingSeries(capacity=4)
+        s.observe_batch([1.0, 2.0], times=5.0)
+        assert s.samples()[0].tolist() == [5.0, 5.0]
+
+    def test_empty_batch_is_noop(self):
+        s = RingSeries(capacity=4)
+        s.observe_batch([])
+        assert len(s) == 0
+
+    def test_mismatched_times_rejected(self):
+        s = RingSeries(capacity=4)
+        with pytest.raises(HomunculusError):
+            s.observe_batch([1.0, 2.0], times=[0.0])
+
+    def test_batch_wraps_existing_ring(self):
+        s = RingSeries(capacity=4)
+        for t in range(3):
+            s.observe(float(t), t=float(t))
+        s.observe_batch([10.0, 11.0, 12.0], times=[3.0, 4.0, 5.0])
+        times, values = s.samples()
+        assert list(times) == [2.0, 3.0, 4.0, 5.0]
+        assert list(values) == [2.0, 10.0, 11.0, 12.0]
+
+
 class TestServingStats:
     def test_queue_series_created_on_demand(self):
         stats = ServingStats()
