@@ -17,8 +17,10 @@ from repro.errors import (
     ConstraintError,
     DatasetError,
     DesignSpaceError,
+    FabricError,
     HomunculusError,
     InfeasibleError,
+    PlacementError,
     SpecificationError,
     TrainingError,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "BackendError",
     "DatasetError",
     "TrainingError",
+    "FabricError",
+    "PlacementError",
     "__version__",
 ]
 

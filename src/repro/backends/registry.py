@@ -41,14 +41,26 @@ def available_backends() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def get_backend(name: str):
-    """Instantiate a backend by name (case-insensitive)."""
-    factory = _FACTORIES.get(name.lower())
-    if factory is None:
+def resolve_backend_name(name: str) -> str:
+    """Normalize a user-supplied backend name to its registered key.
+
+    The single name→backend resolver shared by every entry point that
+    accepts a target string (``cli compile --target``, ``cli fabric``,
+    topology validation): lookup is case-insensitive, and an unknown
+    name raises :class:`~repro.errors.BackendError` listing the valid
+    choices, so every surface reports the same error the same way.
+    """
+    key = str(name).lower()
+    if key not in _FACTORIES:
         raise BackendError(
             f"unknown backend {name!r}; available: {available_backends()}"
         )
-    return factory()
+    return key
+
+
+def get_backend(name: str):
+    """Instantiate a backend by name (case-insensitive)."""
+    return _FACTORIES[resolve_backend_name(name)]()
 
 
 def register_backend(name: str, factory: Callable) -> None:

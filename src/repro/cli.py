@@ -27,6 +27,14 @@ client verbs drive it::
     python -m repro.cli control rollback --port 8300
     python -m repro.cli control split --port 8300 --weights w0=4,w1=1
 
+The ``fabric`` subcommand compiles a whole topology instead of one
+switch (see ``docs/fabric.md``)::
+
+    python -m repro.cli fabric plan --spec examples/fabric_pod.json \\
+        --out build/plan.json --shards 4
+    python -m repro.cli fabric report --plan build/plan.json
+    python -m repro.cli fabric deploy --plan build/plan.json --flows 60
+
 The ``obs`` subcommand inspects the observability artifacts a
 ``REPRO_OBS=1`` run leaves behind (see ``docs/observability.md``)::
 
@@ -43,7 +51,9 @@ import argparse
 import sys
 
 import repro
-from repro.alchemy import DataLoader, Model, Platforms
+from repro.alchemy import DataLoader, Model
+from repro.alchemy.platforms import PlatformSpec
+from repro.backends.registry import available_backends, resolve_backend_name
 from repro.core.export import export_report
 from repro.datasets import load_botnet, load_csv_dataset, load_iot
 from repro.distrib.launchers import LAUNCHERS
@@ -62,13 +72,6 @@ _APPS = {
     "bd": ("botnet_detection", 13),
 }
 
-_PLATFORMS = {
-    "taurus": Platforms.Taurus,
-    "tofino": Platforms.Tofino,
-    "fpga": Platforms.FPGA,
-}
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Homunculus: compile a data-plane ML pipeline.",
@@ -81,7 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--train", help="training CSV (with --test)")
     parser.add_argument("--test", help="test CSV (with --train)")
     parser.add_argument("--name", default="pipeline", help="model name for CSV input")
-    parser.add_argument("--target", default="taurus", choices=sorted(_PLATFORMS))
+    parser.add_argument(
+        "--target", default="taurus",
+        help="backend target (one of: %s); resolved through the shared "
+             "backend registry" % ", ".join(available_backends()),
+    )
     parser.add_argument(
         "--algorithm", action="append", default=None,
         help="candidate algorithm (repeatable; default: let Homunculus choose)",
@@ -1104,6 +1111,150 @@ def _sharded_main(args) -> int:
     return 0 if out.report.feasible else 1
 
 
+def build_fabric_parser(action: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"repro.cli fabric {action}",
+        description="Topology-wide compilation: plan, report, deploy "
+                    "(see docs/fabric.md).",
+    )
+    if action == "plan":
+        parser.add_argument("--spec", required=True,
+                            help="fabric spec (.json/.yaml): topology, "
+                                 "apps, traffic")
+        parser.add_argument("--out", default=None,
+                            help="write the plan JSON here")
+        parser.add_argument("--shards", type=int, default=1)
+        parser.add_argument("--launcher", default=None,
+                            choices=sorted(LAUNCHERS))
+        parser.add_argument("--shard-dir", default=None)
+        parser.add_argument("--granularity", default=None,
+                            choices=sorted(GRANULARITIES))
+        parser.add_argument("--max-retries", type=int, default=0)
+    elif action == "report":
+        parser.add_argument("--plan", required=True, help="plan JSON path")
+        parser.add_argument("--json", action="store_true",
+                            help="print the raw plan document instead of "
+                                 "the summary")
+    else:  # deploy
+        parser.add_argument("--plan", required=True, help="plan JSON path")
+        parser.add_argument("--flows", type=int, default=60,
+                            help="botnet/benign flows in the replayed trace")
+        parser.add_argument("--rate", type=float, default=4000.0,
+                            help="replay rate, packets/s")
+        parser.add_argument("--seed", type=int, default=0,
+                            help="trace generation seed")
+    return parser
+
+
+def fabric_main(argv: "list | None" = None) -> int:
+    """``fabric {plan,report,deploy}``: compile and roll out a topology.
+
+    ``plan`` compiles every (device, app) placement of a fabric spec into
+    a byte-deterministic plan JSON; ``report`` renders a saved plan's
+    rollups; ``deploy`` rebuilds the plan's pipelines and rolls them onto
+    a live fleet tier by tier through the regression gate, exiting 0 only
+    on a fully-upgraded, zero-drop, row-conserving rollout.
+    """
+    argv = list(argv or [])
+    actions = ("plan", "report", "deploy")
+    if not argv or argv[0] not in actions:
+        print(f"error: fabric wants one of {', '.join(actions)}",
+              file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+    args = build_fabric_parser(action).parse_args(rest)
+
+    from repro.errors import FabricError, PlacementError
+    from repro.fabric import (
+        FabricPlan,
+        FabricReport,
+        deploy_plan,
+        load_fabric_spec,
+        plan_fabric,
+    )
+    from repro.obs import flush_obs
+
+    restore_signals = _install_obs_flush()
+    try:
+        if action == "plan":
+            if args.shards < 1:
+                print("error: --shards must be >= 1", file=sys.stderr)
+                return 2
+            if args.max_retries < 0:
+                print("error: --max-retries must be >= 0", file=sys.stderr)
+                return 2
+            try:
+                spec = load_fabric_spec(args.spec)
+            except repro.HomunculusError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            try:
+                plan = plan_fabric(
+                    spec, shards=args.shards, launcher=args.launcher,
+                    shard_dir=args.shard_dir,
+                    granularity=args.granularity or "unit",
+                    max_retries=args.max_retries,
+                )
+            except PlacementError as exc:
+                print(f"infeasible: {exc}", file=sys.stderr)
+                return 1
+            print(FabricReport.from_plan(plan).summary())
+            if args.out:
+                print(f"plan written to {plan.save(args.out)}")
+            return 0
+
+        if action == "report":
+            try:
+                plan = FabricPlan.load(args.plan)
+                report = FabricReport.from_plan(plan)
+            except (FabricError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(plan.to_json(), end="")
+            else:
+                print(report.summary())
+            return 0
+
+        # deploy
+        try:
+            plan = FabricPlan.load(args.plan)
+        except (FabricError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from repro.datasets.botnet import generate_botnet_flows
+
+        flows = generate_botnet_flows(args.flows, seed=args.seed + 1234)
+        packets = sorted((p for f in flows for p in f),
+                         key=lambda p: p.timestamp)
+        print(f"deploying {len(plan.devices)} placement(s) over "
+              f"{len(packets)} replayed packets ...")
+        try:
+            report = deploy_plan(plan, packets, rate=args.rate)
+        except FabricError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for tier, by_app in report["tiers"].items():
+            for app, rollout in by_app.items():
+                state = "ok" if rollout["ok"] else \
+                    f"aborted at {rollout['aborted_at']} ({rollout['reason']})"
+                print(f"  {tier}:{app} -> {rollout['version']}: {state} "
+                      f"(upgraded {len(rollout['upgraded'])})")
+        for name, counters in sorted(report["workers"].items()):
+            print(f"  [{name}] {counters['packets']} packets, "
+                  f"{counters['batch_rows']} rows, "
+                  f"{counters['dropped']} dropped, "
+                  f"{counters['swaps']} swap(s), "
+                  f"version {counters['version']}")
+        ok = report["ok"] and report["dropped"] == 0 and report["conserved"]
+        print(f"rollout {'ok' if ok else 'FAILED'}: "
+              f"dropped={report['dropped']} conserved={report['conserved']}")
+        return 0 if ok else 1
+    finally:
+        flush_obs()
+        restore_signals()
+
+
 def main(argv: "list | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
@@ -1114,7 +1265,16 @@ def main(argv: "list | None" = None) -> int:
         return obs_main(argv[1:])
     if argv and argv[0] == "adapt":
         return adapt_main(argv[1:])
+    if argv and argv[0] == "fabric":
+        return fabric_main(argv[1:])
     args = build_parser().parse_args(argv)
+    try:
+        # One resolver for every entry point: compile, fabric, topology
+        # specs — unknown names fail the same way everywhere.
+        args.target = resolve_backend_name(args.target)
+    except repro.BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.train and not args.test:
         print("error: --train requires --test", file=sys.stderr)
         return 2
@@ -1153,7 +1313,7 @@ def main(argv: "list | None" = None) -> int:
             "data_loader": loader,
         }
     )
-    platform = _PLATFORMS[args.target]()
+    platform = PlatformSpec(args.target)
     performance = {}
     if args.throughput is not None:
         performance["throughput"] = args.throughput

@@ -38,7 +38,9 @@ __all__ = [
     "model_search_seed",
     "family_search_seed",
     "pick_winner",
+    "reduce_starts",
     "finalize_model_report",
+    "winning_model_report",
     "compose_report",
 ]
 
@@ -197,6 +199,32 @@ def pick_winner(candidates: list, results: dict, model_name: str, budget: int):
     return best_algorithm, best_eval
 
 
+def reduce_starts(results: list):
+    """Reduce multi-start trajectories of one family to a single result.
+
+    ``results`` is the family's
+    :class:`~repro.bayesopt.results.OptimizationResult` list in start
+    order (start 0 — the serial trajectory — first).  Keeps the start
+    with the best feasible incumbent; ties break toward the lower start
+    index, so a one-start run reduces to exactly the serial result.
+    This is the distributed multi-start rule — kept next to
+    :func:`pick_winner` so both halves of winner selection live in one
+    module.
+    """
+    if not results:
+        raise InfeasibleError("reduce_starts needs at least one result")
+    chosen = results[0]
+    for contender in results[1:]:
+        if contender.best_objective is None:
+            continue
+        if (
+            chosen.best_objective is None
+            or contender.best_objective > chosen.best_objective
+        ):
+            chosen = contender
+    return chosen
+
+
 def finalize_model_report(
     model_spec, algorithm: str, evaluator, best_eval, candidate_results: dict
 ) -> ModelReport:
@@ -222,6 +250,30 @@ def finalize_model_report(
         metadata=dict(pipeline.metadata),
         optimization=candidate_results[algorithm],
         candidate_results=candidate_results,
+    )
+
+
+def winning_model_report(
+    model_spec, candidates: list, candidate_results: dict, evaluator_for, budget: int
+) -> ModelReport:
+    """Pick the cross-family winner and build its final report.
+
+    The composition of :func:`pick_winner` and
+    :func:`finalize_model_report` — the whole "final model selection &
+    code generation" step as one function, shared verbatim by the
+    serial driver, the shard merge (:mod:`repro.distrib.merge`), and
+    the fabric planner, so no caller can drift from the serial rule.
+    ``evaluator_for`` maps an algorithm name to a ready
+    :class:`~repro.core.evaluator.ModelEvaluator`; it is a callable
+    (not a dict) so drivers that rebuild evaluators on demand only
+    construct the winner's.
+    """
+    best_algorithm, best_eval = pick_winner(
+        candidates, candidate_results, model_spec.name, budget
+    )
+    return finalize_model_report(
+        model_spec, best_algorithm, evaluator_for(best_algorithm), best_eval,
+        candidate_results,
     )
 
 
@@ -275,14 +327,10 @@ def _search_one_model(
         algorithm: evaluator
         for algorithm, (_, evaluator, _) in zip(candidates, searched)
     }
-    best_algorithm, best_eval = pick_winner(
-        candidates, candidate_results, model_spec.name, budget
-    )
     # Final model selection & code generation: deterministically rebuild
     # the incumbent and emit its backend sources.
-    return finalize_model_report(
-        model_spec, best_algorithm, evaluators[best_algorithm], best_eval,
-        candidate_results,
+    return winning_model_report(
+        model_spec, candidates, candidate_results, evaluators.__getitem__, budget
     )
 
 

@@ -34,8 +34,8 @@ from repro.bayesopt.cache import EvaluationCache
 from repro.bayesopt.scalarization import pareto_front
 from repro.core.compiler import (
     compose_report,
-    finalize_model_report,
-    pick_winner,
+    reduce_starts,
+    winning_model_report,
 )
 from repro.core.evaluator import ModelEvaluator
 from repro.core.pareto import PRIMARY_RESOURCE
@@ -299,40 +299,30 @@ def merge_results(
                 (u for u in model_units if u.family_index == family_index),
                 key=lambda u: u.start,
             )
-            # Multi-start reduction: keep the start with the best feasible
-            # incumbent (ties break toward the lower start index, and
-            # start 0 — the serial trajectory — is the baseline).
-            chosen = starts[0].result
-            for contender in starts[1:]:
-                result = contender.result
-                if result.best_objective is None:
-                    continue
-                if (
-                    chosen.best_objective is None
-                    or result.best_objective > chosen.best_objective
-                ):
-                    chosen = result
-            candidate_results[algorithm] = chosen
+            candidate_results[algorithm] = reduce_starts(
+                [u.result for u in starts]
+            )
 
         candidates = [algorithm for _, algorithm in families]
-        best_algorithm, best_eval = pick_winner(
-            candidates, candidate_results, entry.name, spec.budget
-        )
         dataset = (datasets or {}).get(model_index)
         if dataset is None:
             dataset = entry.dataset.materialize()
         model = entry.to_model(dataset)
-        evaluator = ModelEvaluator(
-            model,
-            dataset,
-            best_algorithm,
-            backend,
-            constraints,
-            seed=unit_model_seed(spec, model_index),
-            train_epochs=spec.train_epochs,
-        )
-        reports[entry.name] = finalize_model_report(
-            model, best_algorithm, evaluator, best_eval, candidate_results
+
+        def evaluator_for(algorithm, model=model, dataset=dataset,
+                          model_index=model_index):
+            return ModelEvaluator(
+                model,
+                dataset,
+                algorithm,
+                backend,
+                constraints,
+                seed=unit_model_seed(spec, model_index),
+                train_epochs=spec.train_epochs,
+            )
+
+        reports[entry.name] = winning_model_report(
+            model, candidates, candidate_results, evaluator_for, spec.budget
         )
         if resource_key:
             fronts[entry.name] = merge_fronts(

@@ -53,3 +53,12 @@ class AdaptationError(HomunculusError):
 
 class DeployConflict(ControlError):
     """A fleet mutation raced a rollout already in progress (HTTP 409)."""
+
+
+class FabricError(HomunculusError):
+    """A fabric topology, traffic matrix, or deployment plan is invalid."""
+
+
+class PlacementError(FabricError):
+    """A placement exceeds a device budget; the message names the device
+    and the exhausted resource."""

@@ -1,0 +1,121 @@
+"""Placement: per-switch resource budgets decide what lands where.
+
+Budgets come from the existing backend resource models — a Tofino leaf
+budgets MATs (:mod:`repro.backends.tofino.resources`), a Taurus spine
+budgets CUs/MUs (:mod:`repro.backends.taurus.resources`), an FPGA
+budgets LUT/FF/BRAM percentages (:mod:`repro.backends.fpga.resources`)
+— via each backend's ``resource_limits`` expansion, so the fabric layer
+adds no second resource vocabulary.  A tier may shrink its envelope
+with ``TierSpec.resources`` (e.g. a leaf whose tables are half-consumed
+by forwarding state).
+
+Accounting is additive: every model placed on a device contributes its
+compiled resource usage, and the device's total must stay within its
+budget.  Infeasible placements fail loudly —
+:func:`check_budget` raises :class:`~repro.errors.PlacementError`
+naming the device and the exhausted resource, reusing
+:meth:`~repro.backends.base.ResourceUsage.violations` so the message
+matches single-switch feasibility reporting.
+"""
+
+from __future__ import annotations
+
+from repro.alchemy.platforms import PlatformSpec
+from repro.backends.base import ResourceUsage
+from repro.backends.registry import get_backend
+from repro.errors import FabricError, PlacementError
+from repro.fabric.topology import TierSpec, Topology
+
+__all__ = [
+    "tier_budget",
+    "check_budget",
+    "headroom",
+    "placements_for",
+    "sum_usage",
+]
+
+
+def tier_budget(tier: TierSpec) -> dict:
+    """The per-device resource budget of one switch tier.
+
+    With a ``TierSpec.resources`` override, the override is expanded
+    through the backend's ``resource_limits`` (so Taurus's
+    ``{"rows", "cols"}`` shorthand works here too); without one, the
+    target's default constraint envelope applies — the same limits
+    single-switch ``generate()`` compiles against.
+    """
+    if tier.device is None:
+        raise FabricError(f"tier {tier.tier!r} has no device to budget")
+    if tier.resources:
+        return dict(get_backend(tier.device).resource_limits(dict(tier.resources)))
+    return dict(PlatformSpec(tier.device).constraints()["resources"])
+
+
+def sum_usage(usages: list) -> dict:
+    """Add per-model resource usages into one per-device total."""
+    total: dict = {}
+    for usage in usages:
+        for key, value in dict(usage).items():
+            total[key] = total.get(key, 0) + value
+    return {k: round(v, 4) for k, v in total.items()}
+
+
+def check_budget(device: str, used: dict, limits: dict) -> None:
+    """Raise :class:`PlacementError` when ``used`` exceeds ``limits``.
+
+    The error names the device and every exhausted resource
+    (``"name: used > limit"``, the
+    :meth:`~repro.backends.base.ResourceUsage.violations` wording), so
+    an infeasible fabric plan tells the operator exactly which budget
+    to grow.  A zero budget for a resource rejects any use of it;
+    exactly-at-budget passes.
+    """
+    problems = ResourceUsage(dict(used)).violations(dict(limits))
+    if problems:
+        raise PlacementError(
+            f"device {device!r} over budget: " + "; ".join(problems)
+        )
+
+
+def headroom(used: dict, limits: dict) -> dict:
+    """Remaining budget fraction per resource: ``(limit - used) / limit``.
+
+    Resources the device never used report headroom 1.0; a resource at
+    exactly its limit reports 0.0.
+    """
+    out = {}
+    for name, limit in limits.items():
+        if limit <= 0:
+            out[name] = 0.0
+            continue
+        out[name] = round((limit - used.get(name, 0)) / limit, 6)
+    return out
+
+
+def placements_for(topology: Topology, apps: list) -> dict:
+    """Map each switch tier to the apps its devices will run.
+
+    ``apps`` is a list of :class:`~repro.fabric.planner.FabricApp`;
+    each names the tiers it runs on.  Every device of a named tier runs
+    the app (data-plane replication — each switch of a tier classifies
+    its own slice of the traffic).  Tiers no app names are left empty.
+    Raises :class:`FabricError` for apps naming the server tier, a tier
+    the topology lacks, or no tier at all.
+    """
+    switch = {t.tier for t in topology.switch_tiers()}
+    by_tier: dict = {t.tier: [] for t in topology.switch_tiers()}
+    for app in apps:
+        if not app.tiers:
+            raise FabricError(f"app {app.name!r} names no tiers")
+        for tier in app.tiers:
+            if tier == "server":
+                raise FabricError(
+                    f"app {app.name!r}: servers run no pipelines"
+                )
+            if tier not in switch:
+                raise FabricError(
+                    f"app {app.name!r} wants tier {tier!r}, but the "
+                    f"topology only has {sorted(switch)}"
+                )
+            by_tier[tier].append(app)
+    return by_tier

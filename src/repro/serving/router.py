@@ -24,6 +24,12 @@ Two operability features ride on the router:
   route at a time, the switch-agent table-rewrite story: traffic never
   stops, no packet is dropped, and at most one route is mid-upgrade at
   any moment.
+
+A router can also run in **dispatch** mode: instead of fanning every
+packet to every accepting route, a ``dispatch`` callable maps each
+packet to exactly one route name — the topology-aware mode
+:mod:`repro.fabric.routing` uses to steer packets by ingress tier
+(same-leaf traffic to the leaf route, cross-leaf to the spine route).
 """
 
 from __future__ import annotations
@@ -85,7 +91,18 @@ class PipelineRouter:
         await router.rolling_swap({"bd": new_pipeline})
     """
 
-    def __init__(self, routes: Iterable[Route]) -> None:
+    def __init__(
+        self,
+        routes: Iterable[Route],
+        dispatch: "Callable | None" = None,
+    ) -> None:
+        """``dispatch``, when given, switches the router from fan-out to
+        single-path mode: a callable ``(packet) -> route name`` that
+        steers each packet to exactly one route.  Packets dispatched to
+        a name no route carries are skipped (counted nowhere — the
+        fabric analogue of traffic this switch does not classify).
+        Per-route ``accept`` predicates still apply after dispatch."""
+        self.dispatch = dispatch
         self.routes = list(routes)
         if not self.routes:
             raise HomunculusError("router needs at least one route")
@@ -181,13 +198,20 @@ class PipelineRouter:
                     return
                 yield item
 
+        by_name = {route.name: route for route in self.routes}
+
         async def fan_out() -> None:
             async for item in _aiter(source):
                 if isinstance(item, tuple):
                     packet, labels = item
                 else:
                     packet, labels = item, None
-                for route in self.routes:
+                if self.dispatch is not None:
+                    target = by_name.get(self.dispatch(packet))
+                    targets = [target] if target is not None else []
+                else:
+                    targets = self.routes
+                for route in targets:
                     if route.accept is not None and not route.accept(packet):
                         continue
                     if isinstance(labels, dict):

@@ -1,0 +1,77 @@
+"""Budget-boundary accounting, identical across every backend vocabulary.
+
+One resource-accounting contract serves all three targets — Tofino MATs,
+Taurus CUs/MUs (with the ``rows``/``cols`` shorthand), FPGA LUT/FF/BRAM
+percentages — and these tests pin its edges for each of them:
+
+* a zero budget rejects *any* use of the resource (but zero use passes),
+* exactly-at-budget is feasible (the limit is inclusive),
+* one unit over is rejected, and the error names the exhausted resource
+  with the shared ``"name: used > limit"`` wording, so single-switch
+  feasibility messages and fabric placement errors read the same.
+"""
+
+import pytest
+
+from repro.backends.base import ResourceUsage
+from repro.backends.registry import get_backend
+from repro.errors import PlacementError
+from repro.fabric import check_budget
+
+#: (backend, resource, an exactly-at-budget level, the step to go over).
+BOUNDARIES = [
+    ("tofino", "mats", 32, 1),
+    ("taurus", "cus", 256, 1),
+    ("taurus", "mus", 256, 1),
+    ("fpga", "lut_pct", 100.0, 0.5),
+    ("fpga", "ff_pct", 100.0, 0.5),
+    ("fpga", "bram_pct", 100.0, 0.5),
+]
+
+IDS = [f"{target}-{resource}" for target, resource, _, _ in BOUNDARIES]
+
+
+@pytest.mark.parametrize("target,resource,limit,step", BOUNDARIES, ids=IDS)
+class TestBudgetBoundaries:
+    def test_zero_budget_rejects_any_use(self, target, resource, limit, step):
+        limits = get_backend(target).resource_limits({resource: 0})
+        assert limits[resource] == 0
+        check_budget("dev0", {resource: 0}, limits)  # zero use still fits
+        with pytest.raises(PlacementError) as err:
+            check_budget("dev0", {resource: step}, limits)
+        assert resource in str(err.value)
+
+    def test_exactly_at_budget_accepts(self, target, resource, limit, step):
+        limits = get_backend(target).resource_limits({resource: limit})
+        check_budget("dev0", {resource: limit}, limits)
+        assert ResourceUsage({resource: limit}).within(limits)
+
+    def test_one_over_rejects_and_names_resource(self, target, resource,
+                                                 limit, step):
+        limits = get_backend(target).resource_limits({resource: limit})
+        over = limit + step
+        with pytest.raises(PlacementError) as err:
+            check_budget("dev0", {resource: over}, limits)
+        message = str(err.value)
+        assert "dev0" in message
+        assert f"{resource}: {over} > limit {limit}" in message
+
+    def test_violations_wording_matches_base_model(self, target, resource,
+                                                   limit, step):
+        # The placement error is built from ResourceUsage.violations, so
+        # the two layers can never drift apart in wording.
+        usage = ResourceUsage({resource: limit + step})
+        limits = get_backend(target).resource_limits({resource: limit})
+        violations = usage.violations(limits)
+        assert violations == [f"{resource}: {limit + step} > limit {limit}"]
+
+
+def test_taurus_rows_cols_shorthand_expands_to_both_units():
+    limits = get_backend("taurus").resource_limits({"rows": 4, "cols": 4})
+    assert limits == {"cus": 16, "mus": 16}
+
+
+def test_unconstrained_resources_default_to_the_full_envelope():
+    assert get_backend("tofino").resource_limits({})["mats"] == 32
+    fpga = get_backend("fpga").resource_limits({})
+    assert fpga == {"lut_pct": 100.0, "ff_pct": 100.0, "bram_pct": 100.0}

@@ -1,0 +1,71 @@
+"""Shared fabric fixtures: a small pod topology and a fast compile spec.
+
+The compile-bearing fixtures use the tiny ``tc`` split (120/40 rows) and
+a budget of 2, so a full ``plan_fabric`` run costs a couple of seconds —
+small enough that the determinism matrix can replan several times.
+``make_pod`` / ``make_leaf_spec`` are factory fixtures (they return the
+builder) for tests that need to vary resources or seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib.runspec import DatasetRef
+from repro.fabric import (
+    Demand,
+    FabricApp,
+    FabricSpec,
+    TierSpec,
+    Topology,
+    TrafficMatrix,
+)
+
+
+def _make_pod(leaf_resources: "dict | None" = None) -> Topology:
+    """8 servers under 2 Tofino leaves under 1 Taurus spine."""
+    return Topology([
+        TierSpec("server", count=8, ports=1, link_gbps=10.0),
+        TierSpec("leaf", count=2, device="tofino", ports=8, link_gbps=40.0,
+                 resources=leaf_resources),
+        TierSpec("spine", count=1, device="taurus", ports=4,
+                 link_gbps=100.0),
+    ])
+
+
+def _make_leaf_spec(leaf_resources: "dict | None" = None,
+                    seed: int = 0) -> FabricSpec:
+    """Smallest compilable fabric: 4 servers, 2 leaves, one fast app."""
+    topology = Topology([
+        TierSpec("server", count=4, ports=1, link_gbps=10.0),
+        TierSpec("leaf", count=2, device="tofino", ports=4, link_gbps=40.0,
+                 resources=leaf_resources),
+    ])
+    apps = [FabricApp(
+        "tc",
+        DatasetRef.for_app("tc", n_train=120, n_test=40, seed=11),
+        algorithms=("decision_tree",), tiers=("leaf",),
+    )]
+    traffic = TrafficMatrix([Demand("tc", "server", "server", 8.0)])
+    return FabricSpec(topology, apps, traffic=traffic, budget=2, warmup=1,
+                      train_epochs=2, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def make_pod():
+    return _make_pod
+
+
+@pytest.fixture(scope="session")
+def make_leaf_spec():
+    return _make_leaf_spec
+
+
+@pytest.fixture(scope="session")
+def pod() -> Topology:
+    return _make_pod()
+
+
+@pytest.fixture(scope="session")
+def leaf_spec() -> FabricSpec:
+    return _make_leaf_spec()

@@ -1,0 +1,87 @@
+"""Placement accounting: budgets, additive usage, loud failures."""
+
+import pytest
+
+from repro.errors import FabricError, PlacementError
+from repro.fabric import (
+    TierSpec,
+    check_budget,
+    headroom,
+    placements_for,
+    sum_usage,
+    tier_budget,
+)
+
+
+class FakeApp:
+    def __init__(self, name, tiers):
+        self.name = name
+        self.tiers = tiers
+
+
+class TestTierBudget:
+    def test_default_budget_is_the_backend_envelope(self):
+        budget = tier_budget(TierSpec("leaf", count=1, device="tofino"))
+        assert budget["mats"] == 32
+
+    def test_override_expands_through_resource_limits(self):
+        budget = tier_budget(TierSpec("leaf", count=1, device="tofino",
+                                      resources={"mats": 8}))
+        assert budget["mats"] == 8
+        # Taurus rows/cols shorthand expands the same way it does for
+        # single-switch constraints.
+        budget = tier_budget(TierSpec("spine", count=1, device="taurus",
+                                      resources={"rows": 4, "cols": 4}))
+        assert budget == {"cus": 16, "mus": 16}
+
+    def test_server_tier_has_no_budget(self):
+        with pytest.raises(FabricError, match="no device"):
+            tier_budget(TierSpec("server", count=4))
+
+
+class TestBudgetAccounting:
+    def test_sum_usage_is_additive(self):
+        total = sum_usage([{"mats": 4, "entries": 8}, {"mats": 2}])
+        assert total == {"mats": 6, "entries": 8}
+
+    def test_exactly_at_budget_accepts(self):
+        check_budget("leaf0", {"mats": 8}, {"mats": 8})
+
+    def test_one_over_rejects_naming_device_and_resource(self):
+        with pytest.raises(PlacementError) as err:
+            check_budget("leaf0", {"mats": 9}, {"mats": 8})
+        assert "leaf0" in str(err.value)
+        assert "mats: 9 > limit 8" in str(err.value)
+
+    def test_zero_budget_rejects_any_use(self):
+        check_budget("leaf0", {"mats": 0}, {"mats": 0})
+        with pytest.raises(PlacementError, match="mats"):
+            check_budget("leaf0", {"mats": 1}, {"mats": 0})
+
+    def test_headroom_fractions(self):
+        room = headroom({"mats": 8}, {"mats": 32, "entries": 100})
+        assert room["mats"] == pytest.approx(0.75)
+        assert room["entries"] == 1.0
+        assert headroom({"mats": 32}, {"mats": 32})["mats"] == 0.0
+        assert headroom({}, {"mats": 0})["mats"] == 0.0
+
+
+class TestPlacementsFor:
+    def test_apps_land_on_their_tiers(self, pod):
+        apps = [FakeApp("bd", ("leaf",)), FakeApp("tc", ("spine",)),
+                FakeApp("both", ("leaf", "spine"))]
+        by_tier = placements_for(pod, apps)
+        assert [a.name for a in by_tier["leaf"]] == ["bd", "both"]
+        assert [a.name for a in by_tier["spine"]] == ["tc", "both"]
+
+    def test_server_placement_rejected(self, pod):
+        with pytest.raises(FabricError, match="servers run no pipelines"):
+            placements_for(pod, [FakeApp("bd", ("server",))])
+
+    def test_unknown_tier_rejected(self, pod):
+        with pytest.raises(FabricError, match="only has"):
+            placements_for(pod, [FakeApp("bd", ("core",))])
+
+    def test_no_tier_rejected(self, pod):
+        with pytest.raises(FabricError, match="names no tiers"):
+            placements_for(pod, [FakeApp("bd", ())])

@@ -1,0 +1,88 @@
+"""Traffic matrices: demand validation, oversubscription, route weights."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import Demand, TierSpec, Topology, TrafficMatrix
+
+
+class TestDemand:
+    def test_validation(self):
+        with pytest.raises(FabricError, match="app name"):
+            Demand("", "server", "leaf", 1.0)
+        with pytest.raises(FabricError, match="unknown tier"):
+            Demand("bd", "server", "rack", 1.0)
+        with pytest.raises(FabricError, match="gbps"):
+            Demand("bd", "server", "leaf", 0.0)
+
+    def test_round_trip(self):
+        demand = Demand("bd", "server", "spine", 4.0)
+        assert Demand.from_dict(demand.to_dict()) == demand
+
+
+class TestOversubscription:
+    def test_north_south_demand_crosses_each_boundary_once(self, make_pod):
+        # 8 Gbit/s server->spine crosses server-leaf and leaf-spine.
+        matrix = TrafficMatrix([Demand("tc", "server", "spine", 8.0)])
+        rollup = matrix.oversubscription(make_pod())
+        assert rollup["server-leaf"]["demand_gbps"] == 8.0
+        assert rollup["leaf-spine"]["demand_gbps"] == 8.0
+        # server-leaf: 8 x 10G links = 80G capacity.
+        assert rollup["server-leaf"]["capacity_gbps"] == 80.0
+        assert rollup["server-leaf"]["oversubscription"] == 0.1
+
+    def test_east_west_hairpin_counts_twice_above_its_tier(self, make_pod):
+        matrix = TrafficMatrix([Demand("bd", "server", "server", 24.0)])
+        rollup = matrix.oversubscription(make_pod())
+        assert rollup["server-leaf"]["demand_gbps"] == 48.0
+        assert rollup["leaf-spine"]["demand_gbps"] == 0.0
+
+    def test_worst_boundary_is_reported(self, make_pod):
+        matrix = TrafficMatrix([
+            Demand("bd", "server", "server", 24.0),
+            Demand("tc", "server", "spine", 8.0),
+        ])
+        worst = matrix.worst_oversubscription(make_pod())
+        assert worst["boundary"] == "server-leaf"
+        assert worst["oversubscription"] == pytest.approx(56.0 / 80.0)
+
+    def test_hairpin_at_top_tier_is_rejected(self, make_pod):
+        matrix = TrafficMatrix([Demand("bd", "spine", "spine", 1.0)])
+        with pytest.raises(FabricError, match="nowhere to climb"):
+            matrix.oversubscription(make_pod())
+
+    def test_demand_naming_absent_tier_is_rejected(self):
+        leaf_only = Topology([
+            TierSpec("server", count=4, ports=1),
+            TierSpec("leaf", count=2, device="tofino", ports=4),
+        ])
+        matrix = TrafficMatrix([Demand("tc", "server", "spine", 1.0)])
+        with pytest.raises(FabricError, match="not present"):
+            matrix.oversubscription(leaf_only)
+
+
+class TestWeights:
+    def test_app_shares_sum_to_one(self):
+        matrix = TrafficMatrix([
+            Demand("bd", "server", "server", 30.0),
+            Demand("tc", "server", "spine", 10.0),
+        ])
+        shares = matrix.app_shares()
+        assert shares["bd"] == pytest.approx(0.75)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_route_weights_scale_from_lightest_app(self):
+        matrix = TrafficMatrix([
+            Demand("bd", "server", "server", 30.0),
+            Demand("tc", "server", "spine", 10.0),
+        ])
+        assert matrix.route_weights() == {"bd": 3, "tc": 1}
+
+    def test_round_trip(self):
+        matrix = TrafficMatrix([Demand("bd", "server", "leaf", 2.0)])
+        clone = TrafficMatrix.from_dict(matrix.to_dict())
+        assert clone.to_dict() == matrix.to_dict()
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(FabricError, match="at least one demand"):
+            TrafficMatrix([])
